@@ -1,0 +1,275 @@
+package cloudbench_test
+
+// One benchmark per table and figure of the paper, plus the ablations
+// DESIGN.md calls out. Each benchmark executes the corresponding
+// experiment end to end on the simulated testbed and reports the headline
+// numbers through b.ReportMetric: simulated throughput (simops/s), mean
+// latency (ms), and — where relevant — the ratio the paper's finding
+// hinges on. Wall-clock ns/op measures the simulator itself.
+//
+// Replication factors are reduced to {1,6} here so the full suite runs in
+// minutes; `go run ./cmd/replbench -experiment all` sweeps 1–6.
+
+import (
+	"math/rand"
+	"testing"
+
+	"cloudbench/internal/core"
+	"cloudbench/internal/sim"
+	"cloudbench/internal/ycsb"
+)
+
+func benchOptions() core.Options {
+	o := core.QuickOptions()
+	o.ReplicationFactors = []int{1, 6}
+	return o
+}
+
+// BenchmarkTable1Workloads drives each Table 1 workload mix through the
+// generator layer, verifying the published ratios and measuring generator
+// throughput.
+func BenchmarkTable1Workloads(b *testing.B) {
+	if err := core.VerifyTable1(); err != nil {
+		b.Fatal(err)
+	}
+	for _, spec := range ycsb.StressWorkloads(10_000) {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			w := ycsb.NewWorkload(spec)
+			r := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op := w.NextOp(r)
+				if op.Type == ycsb.OpInsert {
+					w.Ack(op)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig1Micro regenerates the micro benchmark for replication: one
+// sub-benchmark per (database, replication factor), reporting the four
+// atomic-operation latencies in microseconds of simulated time.
+func BenchmarkFig1Micro(b *testing.B) {
+	o := benchOptions()
+	for _, db := range []string{"HBase", "Cassandra"} {
+		for _, rf := range o.ReplicationFactors {
+			db, rf := db, rf
+			b.Run(benchName(db, "rf", rf), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					opts := o
+					opts.ReplicationFactors = []int{rf}
+					opts.Seed = int64(i + 1)
+					res, err := core.RunFig1Round(opts, db, rf)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, m := range res {
+						b.ReportMetric(float64(m.Mean.Microseconds()), m.Op+"-µs")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig2Stress regenerates the stress benchmark for replication:
+// one sub-benchmark per (database, replication factor), reporting each
+// Table 1 workload's peak runtime throughput in simulated ops/s.
+func BenchmarkFig2Stress(b *testing.B) {
+	o := benchOptions()
+	for _, db := range []string{"HBase", "Cassandra"} {
+		for _, rf := range o.ReplicationFactors {
+			db, rf := db, rf
+			b.Run(benchName(db, "rf", rf), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					opts := o
+					opts.Seed = int64(i + 1)
+					res, err := core.RunFig2Round(opts, db, rf)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, m := range res {
+						b.ReportMetric(m.Throughput, m.Workload+"-simops/s")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig3Consistency regenerates the stress benchmark for
+// consistency: one sub-benchmark per consistency level, reporting each
+// workload's runtime throughput at the capacity target.
+func BenchmarkFig3Consistency(b *testing.B) {
+	o := benchOptions()
+	o.Fig3TargetFractions = []float64{1.0}
+	for _, lv := range core.Levels() {
+		lv := lv
+		b.Run(lv.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := o
+				opts.Seed = int64(i + 1)
+				res, err := core.RunFig3Level(opts, lv)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, m := range res {
+					if m.Target == 0 {
+						b.ReportMetric(m.Runtime, m.Workload+"-simops/s")
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReadRepair quantifies A1: Cassandra micro read latency
+// at RF 6 with read repair on versus off.
+func BenchmarkAblationReadRepair(b *testing.B) {
+	o := benchOptions()
+	for _, mode := range []struct {
+		name   string
+		chance float64
+	}{{"on", o.ReadRepairChance}, {"off", 0}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := o
+				opts.ReadRepairChance = mode.chance
+				opts.Seed = int64(i + 1)
+				res, err := core.RunFig1Round(opts, "Cassandra", 6)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, m := range res {
+					if m.Op == "read" {
+						b.ReportMetric(float64(m.Mean.Microseconds()), "read-µs")
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHBaseSyncRepl quantifies A2: HBase micro update latency
+// at RF 6 with in-memory versus synchronous replication.
+func BenchmarkAblationHBaseSyncRepl(b *testing.B) {
+	o := benchOptions()
+	for _, mode := range []struct {
+		name string
+		mem  bool
+	}{{"in-memory", true}, {"synchronous", false}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := o
+				opts.MemReplication = mode.mem
+				opts.Seed = int64(i + 1)
+				res, err := core.RunFig1Round(opts, "HBase", 6)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, m := range res {
+					if m.Op == "update" {
+						b.ReportMetric(float64(m.Mean.Microseconds()), "update-µs")
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationClientThreads quantifies A3: intended latency at a
+// fixed offered load versus client thread count.
+func BenchmarkAblationClientThreads(b *testing.B) {
+	o := benchOptions()
+	for _, threads := range []int{2, 8, 32} {
+		threads := threads
+		b.Run(benchName("threads", "", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := o
+				opts.Seed = int64(i + 1)
+				fig, err := core.AblationClientThreads(opts, []int{threads}, 3000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(fig.Series[0].Y[0], "intended-µs")
+			}
+		})
+	}
+}
+
+// BenchmarkSimKernel measures the raw event throughput of the simulation
+// kernel itself — the substrate cost under everything above.
+func BenchmarkSimKernel(b *testing.B) {
+	k := sim.NewKernel(1)
+	r := sim.NewResource(k, "r", 4)
+	stop := false
+	for i := 0; i < 16; i++ {
+		k.Spawn("worker", func(p *sim.Proc) {
+			for !stop {
+				r.Use(p, 100)
+				p.Sleep(50)
+			}
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k.RunUntil(sim.Time((i + 1) * 10_000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stop = true
+	b.StopTimer()
+	_ = k.RunUntil(sim.Time((b.N + 2) * 10_000))
+}
+
+// BenchmarkEndToEndOps measures full-stack simulated operations per
+// wall-clock second for each database at RF 3 — the simulator's headline
+// cost metric.
+func BenchmarkEndToEndOps(b *testing.B) {
+	for _, db := range []string{"HBase", "Cassandra"} {
+		db := db
+		b.Run(db, func(b *testing.B) {
+			o := benchOptions()
+			o.MicroOps = int64(b.N)
+			if o.MicroOps < 1000 {
+				o.MicroOps = 1000
+			}
+			res, err := core.RunFig1Round(o, db, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var tput float64
+			for _, m := range res {
+				if m.Op == "read" {
+					tput = m.Throughput
+				}
+			}
+			b.ReportMetric(tput, "simops/s")
+		})
+	}
+}
+
+func benchName(a, sep string, n int) string {
+	if sep == "" {
+		return a + "-" + itoa(n)
+	}
+	return a + "/" + sep + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

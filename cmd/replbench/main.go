@@ -1,0 +1,191 @@
+// Command replbench regenerates the paper's tables and figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	replbench -experiment table1|fig1|fig2|fig3|ablation-a1|ablation-a2|ablation-a3|findings|all \
+//	          [-profile quick|paper] [-seed N] [-rf 1,2,3] [-csv] [-o results.txt]
+//
+// Each experiment prints the corresponding table or figure series in the
+// same rows the paper reports, plus a findings summary comparing the
+// reproduction against the paper's qualitative claims.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cloudbench/internal/core"
+	"cloudbench/internal/stats"
+	"cloudbench/internal/ycsb"
+)
+
+// coreReadMostly adapts the read-mostly preset for the SLA search.
+func coreReadMostly(records int64) ycsb.Spec { return ycsb.ReadMostly(records) }
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "replbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("replbench", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all", "table1, fig1, fig2, fig3, ablation-a1, ablation-a2, ablation-a3, geo, failover, sla, findings, or all")
+	profile := fs.String("profile", "quick", "quick or paper scale")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	rfList := fs.String("rf", "", "comma-separated replication factors (default 1-6)")
+	noReadRepair := fs.Bool("no-read-repair", false, "disable Cassandra read repair (ablation A1 inline)")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	out := fs.String("o", "", "also write the report to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var o core.Options
+	switch *profile {
+	case "quick":
+		o = core.QuickOptions()
+	case "paper":
+		o = core.PaperOptions()
+	default:
+		return fmt.Errorf("unknown profile %q", *profile)
+	}
+	o.Seed = *seed
+	if *rfList != "" {
+		var rfs []int
+		for _, part := range strings.Split(*rfList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -rf entry %q", part)
+			}
+			rfs = append(rfs, n)
+		}
+		o.ReplicationFactors = rfs
+	}
+	if *noReadRepair {
+		o.ReadRepairChance = 0
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = io.MultiWriter(stdout, f)
+	}
+
+	render := func(t *stats.Table) {
+		if *csv {
+			t.CSV(w)
+		} else {
+			t.Render(w)
+		}
+		fmt.Fprintln(w)
+	}
+
+	want := func(name string) bool { return *experiment == name || *experiment == "all" }
+	started := time.Now()
+	var findings []core.Finding
+
+	if want("table1") {
+		if err := core.VerifyTable1(); err != nil {
+			return err
+		}
+		render(core.Table1())
+	}
+	if want("fig1") {
+		res, err := core.RunFig1(o)
+		if err != nil {
+			return err
+		}
+		for _, f := range res.Figures() {
+			render(f.Table())
+		}
+		render(res.Table())
+		findings = append(findings, core.CheckFig1(res)...)
+	}
+	if want("fig2") {
+		res, err := core.RunFig2(o)
+		if err != nil {
+			return err
+		}
+		for _, f := range res.ThroughputFigures() {
+			render(f.Table())
+		}
+		for _, f := range res.LatencyFigures() {
+			render(f.Table())
+		}
+		findings = append(findings, core.CheckFig2(res)...)
+	}
+	if want("fig3") {
+		res, err := core.RunFig3(o)
+		if err != nil {
+			return err
+		}
+		for _, f := range res.Figures() {
+			render(f.Table())
+		}
+		findings = append(findings, core.CheckFig3(res)...)
+	}
+	if want("ablation-a1") {
+		fig, err := core.AblationReadRepair(o)
+		if err != nil {
+			return err
+		}
+		render(fig.Table())
+	}
+	if want("ablation-a2") {
+		fig, err := core.AblationHBaseSyncRepl(o)
+		if err != nil {
+			return err
+		}
+		render(fig.Table())
+	}
+	if want("ablation-a3") {
+		fig, err := core.AblationClientThreads(o, nil, 3000)
+		if err != nil {
+			return err
+		}
+		render(fig.Table())
+	}
+	if want("geo") {
+		res, err := core.RunGeo(core.DefaultGeoOptions())
+		if err != nil {
+			return err
+		}
+		render(res.Table())
+	}
+	if want("failover") {
+		res, err := core.RunFailover(core.DefaultFailoverOptions())
+		if err != nil {
+			return err
+		}
+		render(res.ThroughputFigure().Table())
+		render(res.Figure().Table())
+	}
+	if want("sla") {
+		res, err := core.RunSLASearch(o, "Cassandra", 3, coreReadMostly, core.SLA{Percentile: 95, Limit: 20 * time.Millisecond}, 6)
+		if err != nil {
+			return err
+		}
+		render(res.Table())
+	}
+	if len(findings) > 0 || *experiment == "findings" {
+		fmt.Fprintln(w, "Findings versus the paper's qualitative claims:")
+		for _, f := range findings {
+			fmt.Fprintln(w, " ", f)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "done in %v (wall clock)\n", time.Since(started).Round(time.Second))
+	return nil
+}

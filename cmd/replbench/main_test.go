@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTable1(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "table1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table 1", "read-mostly", "Online shopping", "zipfian", "done in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTable1CSV(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "table1", "-csv"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "workload,typical-usage") {
+		t.Errorf("csv header missing:\n%s", b.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "table1", "-profile", "bogus"}, &b); err == nil {
+		t.Error("bad profile accepted")
+	}
+	if err := run([]string{"-experiment", "table1", "-rf", "1,x"}, &b); err == nil {
+		t.Error("bad rf list accepted")
+	}
+}
+
+func TestRunWritesOutputFile(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-experiment", "table1", "-o", dir + "/r.txt"}, &b); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+// Feed reader: the paper's "read latest" scenario (Table 1, feeds
+// reading) — users read the newest posts while writers keep publishing.
+// The example runs the read-latest workload against both databases and,
+// for Cassandra, at all three of the paper's consistency levels, printing
+// a miniature of Fig. 3's read-latest panel.
+//
+//	go run ./examples/feedreader
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"cloudbench/internal/cassandra"
+	"cloudbench/internal/cluster"
+	"cloudbench/internal/hbase"
+	"cloudbench/internal/kv"
+	"cloudbench/internal/sim"
+	"cloudbench/internal/stats"
+	"cloudbench/internal/ycsb"
+)
+
+func main() {
+	table := stats.NewTable("Feed reading — read latest (80/20), 64 threads, 6 servers",
+		"system", "ops/sec", "mean", "p95", "stale/missing")
+
+	spec := ycsb.ReadLatest(2000)
+
+	// Cassandra at each consistency level.
+	for _, mode := range []struct {
+		name        string
+		read, write kv.ConsistencyLevel
+	}{
+		{"Cassandra ONE", kv.One, kv.One},
+		{"Cassandra QUORUM", kv.Quorum, kv.Quorum},
+		{"Cassandra writeALL", kv.One, kv.All},
+	} {
+		res := runFeed(mode.name, func(k *sim.Kernel, servers []*cluster.Node, client *cluster.Node) ycsb.ClientFactory {
+			cfg := cassandra.DefaultConfig()
+			cfg.ReadCL, cfg.WriteCL = mode.read, mode.write
+			db := cassandra.New(k, cfg, servers)
+			return func() kv.Client { return db.NewClient(client) }
+		}, spec)
+		addRow(table, mode.name, res)
+	}
+
+	// HBase for comparison (always strongly consistent).
+	res := runFeed("HBase", func(k *sim.Kernel, servers []*cluster.Node, client *cluster.Node) ycsb.ClientFactory {
+		db := hbase.New(k, hbase.DefaultConfig(), servers, client, spec.SplitPoints(12))
+		return func() kv.Client { return db.NewClient(client) }
+	}, spec)
+	addRow(table, "HBase (strong)", res)
+
+	fmt.Print(table)
+	fmt.Println("\n\"stale/missing\" counts reads of a just-published post that a lagging")
+	fmt.Println("replica could not serve yet — zero under strong consistency.")
+}
+
+func runFeed(name string, build func(*sim.Kernel, []*cluster.Node, *cluster.Node) ycsb.ClientFactory, spec ycsb.Spec) ycsb.Result {
+	k := sim.NewKernel(99)
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = 7
+	rack := cluster.New(k, ccfg)
+	servers, clientNode := rack.Nodes[:6], rack.Nodes[6]
+	factory := build(k, servers, clientNode)
+
+	var res ycsb.Result
+	k.Spawn("driver", func(p *sim.Proc) {
+		w := ycsb.NewWorkload(spec)
+		ycsb.Load(p, factory, w, 16, 0, spec.RecordCount)
+		p.Sleep(500 * time.Millisecond)
+		run := ycsb.NewWorkload(ycsb.ReadLatest(w.Inserted()))
+		res = ycsb.Run(p, factory, run, ycsb.RunConfig{
+			Threads: 64, Ops: 6000, WarmupFraction: 0.1,
+		})
+	})
+	if err := k.Run(); err != nil {
+		fmt.Printf("%s: simulation error: %v\n", name, err)
+	}
+	return res
+}
+
+func addRow(t *stats.Table, name string, res ycsb.Result) {
+	s := res.Overall.Summarize()
+	t.AddRow(name, fmt.Sprintf("%.0f", res.Throughput),
+		s.Mean.Round(time.Microsecond).String(),
+		s.P95.Round(time.Microsecond).String(),
+		res.NotFound)
+}

@@ -1,0 +1,3 @@
+module cloudbench
+
+go 1.22

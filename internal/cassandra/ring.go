@@ -1,0 +1,108 @@
+package cassandra
+
+import (
+	"sort"
+
+	"cloudbench/internal/kv"
+)
+
+// Token is a position on the hash ring.
+type Token uint64
+
+// hashKey maps a row key to its token: FNV-1a over the key bytes followed
+// by a murmur-style 64-bit finalizer for avalanche, standing in for
+// Cassandra's Murmur3Partitioner.
+func hashKey(key kv.Key) Token {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	// fmix64
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return Token(h)
+}
+
+// ringEntry is one virtual node: a token owned by a replica.
+type ringEntry struct {
+	token Token
+	rep   *Replica
+}
+
+// ring is the sorted token ring.
+type ring struct {
+	entries []ringEntry
+}
+
+// buildRing assigns vnodes tokens to every replica using the deterministic
+// rng stream, then sorts the ring.
+func buildRing(reps []*Replica, vnodes int, randToken func() uint64) ring {
+	var r ring
+	for _, rep := range reps {
+		for v := 0; v < vnodes; v++ {
+			r.entries = append(r.entries, ringEntry{token: Token(randToken()), rep: rep})
+		}
+	}
+	sort.Slice(r.entries, func(i, j int) bool { return r.entries[i].token < r.entries[j].token })
+	return r
+}
+
+// replicasFor walks clockwise from the key's token collecting the first rf
+// distinct replicas (SimpleStrategy placement). The first returned replica
+// is the paper's "main replica": it is contacted for every read regardless
+// of consistency level.
+func (r *ring) replicasFor(key kv.Key, rf int) []*Replica {
+	if len(r.entries) == 0 {
+		return nil
+	}
+	t := hashKey(key)
+	start := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].token >= t })
+	out := make([]*Replica, 0, rf)
+	seen := make(map[*Replica]bool, rf)
+	for i := 0; i < len(r.entries) && len(out) < rf; i++ {
+		e := r.entries[(start+i)%len(r.entries)]
+		if !seen[e.rep] {
+			seen[e.rep] = true
+			out = append(out, e.rep)
+		}
+	}
+	return out
+}
+
+// replicasForTopology is NetworkTopologyStrategy-style placement: walking
+// clockwise, it first takes at most one replica per zone until every zone
+// is represented (or exhausted), then fills the remainder in ring order.
+// The result still starts with the ring-order main replica.
+func (r *ring) replicasForTopology(key kv.Key, rf int) []*Replica {
+	if len(r.entries) == 0 {
+		return nil
+	}
+	t := hashKey(key)
+	start := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].token >= t })
+	out := make([]*Replica, 0, rf)
+	seen := make(map[*Replica]bool, rf)
+	zoneTaken := make(map[int]bool)
+	// Pass 1: one replica per distinct zone, ring order.
+	for i := 0; i < len(r.entries) && len(out) < rf; i++ {
+		e := r.entries[(start+i)%len(r.entries)]
+		if seen[e.rep] || zoneTaken[e.rep.Node.Zone] {
+			continue
+		}
+		seen[e.rep] = true
+		zoneTaken[e.rep.Node.Zone] = true
+		out = append(out, e.rep)
+	}
+	// Pass 2: fill remaining slots in ring order.
+	for i := 0; i < len(r.entries) && len(out) < rf; i++ {
+		e := r.entries[(start+i)%len(r.entries)]
+		if !seen[e.rep] {
+			seen[e.rep] = true
+			out = append(out, e.rep)
+		}
+	}
+	return out
+}

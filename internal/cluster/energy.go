@@ -1,0 +1,71 @@
+package cluster
+
+import "time"
+
+// EnergyConfig models per-node power draw: a constant idle floor plus
+// activity-proportional draw for the CPU and the disk. It supports the
+// energy-efficiency metric that BigDataBench layers over YCSB (related
+// work, §5) and the paper's own complaint (§6) that long benchmark runs
+// are energy-inefficient.
+type EnergyConfig struct {
+	IdleWatts     float64 // chassis + RAM + fans, always drawn
+	CPUWatts      float64 // additional draw per fully busy CPU
+	DiskWatts     float64 // additional draw while the disk is active
+	NetworkJPerGB float64 // transmission energy per gigabyte sent
+}
+
+// DefaultEnergyConfig approximates a 2010-era dual-socket Xeon server.
+func DefaultEnergyConfig() EnergyConfig {
+	return EnergyConfig{
+		IdleWatts:     150,
+		CPUWatts:      120,
+		DiskWatts:     8,
+		NetworkJPerGB: 15,
+	}
+}
+
+// EnergyReport summarizes a cluster's energy use over the simulation so
+// far.
+type EnergyReport struct {
+	Elapsed      time.Duration
+	IdleJoules   float64
+	CPUJoules    float64
+	DiskJoules   float64
+	NetJoules    float64
+	TotalJoules  float64
+	MeanWatts    float64
+	NodesCounted int
+}
+
+// Energy integrates each node's power draw from simulation start to now.
+func (c *Cluster) Energy(cfg EnergyConfig) EnergyReport {
+	now := c.K.Now()
+	elapsed := time.Duration(now)
+	rep := EnergyReport{Elapsed: elapsed, NodesCounted: len(c.Nodes)}
+	secs := elapsed.Seconds()
+	for _, n := range c.Nodes {
+		rep.IdleJoules += cfg.IdleWatts * secs
+		// CPU busy time is in slot-seconds; normalize by slot count so a
+		// fully busy node draws exactly CPUWatts.
+		slots := float64(n.CPU.Capacity())
+		if slots > 0 {
+			rep.CPUJoules += cfg.CPUWatts * n.CPU.BusyTime().Seconds() / slots
+		}
+		rep.DiskJoules += cfg.DiskWatts * n.Disk.BusyTime().Seconds()
+		rep.NetJoules += cfg.NetworkJPerGB * float64(n.BytesSent) / 1e9
+	}
+	rep.TotalJoules = rep.IdleJoules + rep.CPUJoules + rep.DiskJoules + rep.NetJoules
+	if secs > 0 {
+		rep.MeanWatts = rep.TotalJoules / secs
+	}
+	return rep
+}
+
+// OpsPerJoule converts an operation count into the energy-efficiency
+// metric (higher is better).
+func (r EnergyReport) OpsPerJoule(ops int64) float64 {
+	if r.TotalJoules == 0 {
+		return 0
+	}
+	return float64(ops) / r.TotalJoules
+}

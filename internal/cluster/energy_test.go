@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"cloudbench/internal/sim"
+)
+
+func TestEnergyIdleBaseline(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := New(k, testConfig(2))
+	k.Spawn("idler", func(p *sim.Proc) { p.Sleep(10 * time.Second) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Energy(DefaultEnergyConfig())
+	// 2 nodes × 150 W × 10 s = 3000 J idle, nothing else.
+	if rep.IdleJoules != 3000 {
+		t.Fatalf("idle = %v J", rep.IdleJoules)
+	}
+	if rep.CPUJoules != 0 || rep.DiskJoules != 0 {
+		t.Fatalf("active energy without activity: cpu=%v disk=%v", rep.CPUJoules, rep.DiskJoules)
+	}
+	if rep.MeanWatts != 300 {
+		t.Fatalf("mean watts = %v", rep.MeanWatts)
+	}
+}
+
+func TestEnergyScalesWithActivity(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := New(k, testConfig(1))
+	n := c.Nodes[0]
+	k.Spawn("worker", func(p *sim.Proc) {
+		// Keep exactly one CPU slot busy half the time for 10s.
+		for i := 0; i < 50; i++ {
+			n.Exec(p, 100*time.Millisecond)
+			p.Sleep(100 * time.Millisecond)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Energy(DefaultEnergyConfig())
+	// 1 slot busy 5 s of 10 s over 24 slots: 120 W × 5/24 ≈ 25 J.
+	want := 120.0 * 5 / 24
+	if rep.CPUJoules < want*0.9 || rep.CPUJoules > want*1.1 {
+		t.Fatalf("cpu joules = %v, want ~%v", rep.CPUJoules, want)
+	}
+	if rep.TotalJoules <= rep.IdleJoules {
+		t.Fatal("activity added no energy")
+	}
+	if rep.OpsPerJoule(1000) <= 0 {
+		t.Fatal("ops/J not computed")
+	}
+}
+
+func TestEnergyCountsDiskAndNetwork(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := New(k, testConfig(2))
+	k.Spawn("io", func(p *sim.Proc) {
+		c.Nodes[0].Disk.Write(p, 100<<20, false) // ~1s of disk activity
+		c.Nodes[0].SendTo(p, c.Nodes[1], 1<<30)  // 1 GB on the wire
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Energy(DefaultEnergyConfig())
+	if rep.DiskJoules < 5 {
+		t.Fatalf("disk joules = %v", rep.DiskJoules)
+	}
+	if rep.NetJoules < 14 || rep.NetJoules > 17 {
+		t.Fatalf("net joules = %v, want ~15 (1 GB × 15 J/GB)", rep.NetJoules)
+	}
+}

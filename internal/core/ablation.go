@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cloudbench/internal/sim"
+	"cloudbench/internal/stats"
+	"cloudbench/internal/ycsb"
+)
+
+// AblationReadRepair isolates the cause of the paper's F4 finding (§4.1:
+// Cassandra read latency rising beyond RF 3): it reruns the micro
+// update+read pipeline at each replication factor with read repair on and
+// off. The "off" series should flatten.
+func AblationReadRepair(o Options) (*stats.Figure, error) {
+	f := stats.NewFigure("Ablation A1 — Cassandra micro read latency vs RF, read repair on/off",
+		"replication-factor", "mean read latency (µs)")
+	for _, mode := range []struct {
+		name   string
+		chance float64
+	}{{"read-repair-on", o.ReadRepairChance}, {"read-repair-off", 0}} {
+		opts := o
+		opts.ReadRepairChance = mode.chance
+		s := f.AddSeries(mode.name)
+		for _, rf := range o.ReplicationFactors {
+			res, err := runFig1Round(opts, "Cassandra", rf)
+			if err != nil {
+				return nil, fmt.Errorf("ablation read-repair rf=%d: %w", rf, err)
+			}
+			s.Add(float64(rf), float64(res.get("Cassandra", "read", rf).Microseconds()))
+		}
+	}
+	return f, nil
+}
+
+// AblationHBaseSyncRepl isolates the cause of F2 (§4.1: HBase write
+// latency flat in RF because replication is in-memory): it reruns the
+// micro update test with the paper-described in-memory replication versus
+// synchronous disk replication. The sync series should climb with RF.
+func AblationHBaseSyncRepl(o Options) (*stats.Figure, error) {
+	f := stats.NewFigure("Ablation A2 — HBase micro update latency vs RF, in-memory vs sync replication",
+		"replication-factor", "mean update latency (µs)")
+	for _, mode := range []struct {
+		name string
+		mem  bool
+	}{{"in-memory-replication", true}, {"synchronous-replication", false}} {
+		opts := o
+		opts.MemReplication = mode.mem
+		s := f.AddSeries(mode.name)
+		for _, rf := range o.ReplicationFactors {
+			res, err := runFig1Round(opts, "HBase", rf)
+			if err != nil {
+				return nil, fmt.Errorf("ablation sync-repl rf=%d: %w", rf, err)
+			}
+			s.Add(float64(rf), float64(res.get("HBase", "update", rf).Microseconds()))
+		}
+	}
+	return f, nil
+}
+
+// AblationClientThreads reproduces the §3.1 methodology warning: with a
+// fixed offered load, too few client threads inflate measured latency for
+// non-database reasons (requests queue in the client). It sweeps the
+// thread count at a constant target throughput against HBase.
+func AblationClientThreads(o Options, threadCounts []int, target float64) (*stats.Figure, error) {
+	if len(threadCounts) == 0 {
+		threadCounts = []int{1, 2, 4, 8, 16, 32}
+	}
+	f := stats.NewFigure(
+		fmt.Sprintf("Ablation A3 — intended latency vs client threads at %d ops/s offered", int(target)),
+		"client-threads", "mean intended latency (µs)")
+	s := f.AddSeries("HBase read-mostly")
+	for _, threads := range threadCounts {
+		spec := ycsb.ReadMostly(o.StressRecords)
+		d := deployHBase(o, 3, spec)
+		var mean time.Duration
+		err := d.drive(func(p *sim.Proc) {
+			w := ycsb.NewWorkload(spec)
+			d.loadAndSettle(p, w, o.Threads)
+			run := ycsb.NewWorkload(ycsb.ReadMostly(w.Inserted()))
+			res := ycsb.Run(p, d.newClient, run, ycsb.RunConfig{
+				Threads:          threads,
+				Ops:              o.StressOps,
+				TargetThroughput: target,
+				WarmupFraction:   o.WarmupFraction,
+			})
+			// Intended latency (from each op's scheduled start) is what
+			// exposes client-side queueing when threads are too few.
+			mean = res.Intended.Mean()
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation threads=%d: %w", threads, err)
+		}
+		s.Add(float64(threads), float64(mean.Microseconds()))
+	}
+	return f, nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"cloudbench/internal/cassandra"
+	"cloudbench/internal/cluster"
+	"cloudbench/internal/hbase"
+	"cloudbench/internal/kv"
+	"cloudbench/internal/sim"
+	"cloudbench/internal/storage"
+	"cloudbench/internal/ycsb"
+)
+
+// deployment is one freshly provisioned database under test.
+type deployment struct {
+	k          *sim.Kernel
+	clus       *cluster.Cluster
+	clientNode *cluster.Node
+	newClient  ycsb.ClientFactory
+	flush      func()
+	gc         *cluster.GCController
+
+	// backends, exactly one non-nil
+	hb *hbase.DB
+	ca *cassandra.DB
+}
+
+// engineConfig derives the storage engine configuration for an experiment.
+// Block and cache sizes are scaled down with the record counts so the
+// working set exceeds the cache — avoiding the fit-in-memory problem §3.1
+// warns would make read benchmarks meaningless.
+func engineConfig(o Options) storage.Config {
+	cfg := storage.DefaultConfig()
+	cfg.CacheBytes = o.CacheBytes
+	cfg.BlockBytes = 4 << 10
+	// Scale the memtable to the experiment so flushes happen a handful
+	// of times per run rather than never or constantly.
+	cfg.MemtableBytes = 256 << 10
+	return cfg
+}
+
+// newKernelAndCluster builds the 16-machine rack.
+func newKernelAndCluster(o Options) (*sim.Kernel, *cluster.Cluster) {
+	k := sim.NewKernel(o.Seed)
+	ccfg := o.Cluster
+	ccfg.Nodes = o.ServerNodes + 1
+	return k, cluster.New(k, ccfg)
+}
+
+// deployHBase provisions HBase at the given replication factor with
+// regions pre-split for the workload's key space.
+func deployHBase(o Options, rf int, spec ycsb.Spec) *deployment {
+	k, clus := newKernelAndCluster(o)
+	servers := clus.Nodes[:o.ServerNodes]
+	clientNode := clus.Nodes[o.ServerNodes]
+
+	cfg := hbase.DefaultConfig()
+	cfg.Replication = rf
+	cfg.Engine = engineConfig(o)
+	cfg.MemReplication = o.MemReplication
+	cfg.RegionsPerServer = o.RegionsPerServer
+	splits := spec.SplitPoints(o.ServerNodes * o.RegionsPerServer)
+	db := hbase.New(k, cfg, servers, clientNode, splits)
+
+	d := &deployment{
+		k:          k,
+		clus:       clus,
+		clientNode: clientNode,
+		newClient:  func() kv.Client { return db.NewClient(clientNode) },
+		flush:      db.FlushAll,
+		hb:         db,
+	}
+	if o.EnableGC {
+		d.gc = cluster.StartGC(k, o.GC, servers)
+	}
+	return d
+}
+
+// deployCassandra provisions Cassandra at the given replication factor and
+// consistency levels.
+func deployCassandra(o Options, rf int, readCL, writeCL kv.ConsistencyLevel) *deployment {
+	k, clus := newKernelAndCluster(o)
+	servers := clus.Nodes[:o.ServerNodes]
+	clientNode := clus.Nodes[o.ServerNodes]
+
+	cfg := cassandra.DefaultConfig()
+	cfg.Replication = rf
+	cfg.Engine = engineConfig(o)
+	cfg.Engine.SyncWAL = false // commitlog_sync: periodic
+	cfg.ReadCL = readCL
+	cfg.WriteCL = writeCL
+	cfg.ReadRepairChance = o.ReadRepairChance
+	db := cassandra.New(k, cfg, servers)
+
+	d := &deployment{
+		k:          k,
+		clus:       clus,
+		clientNode: clientNode,
+		newClient:  func() kv.Client { return db.NewClient(clientNode) },
+		flush:      db.FlushAll,
+		ca:         db,
+	}
+	if o.EnableGC {
+		d.gc = cluster.StartGC(k, o.GC, servers)
+	}
+	return d
+}
+
+// drive runs fn as the benchmark driver process and executes the
+// simulation to completion, stopping the GC pause processes once the
+// driver finishes so the kernel can drain.
+func (d *deployment) drive(fn func(p *sim.Proc)) error {
+	d.k.Spawn("bench-driver", func(p *sim.Proc) {
+		defer func() {
+			if d.gc != nil {
+				d.gc.Stop()
+			}
+		}()
+		fn(p)
+	})
+	return d.k.Run()
+}
+
+// loadAndSettle loads the workload's base records and lets flushes settle.
+func (d *deployment) loadAndSettle(p *sim.Proc, w *ycsb.Workload, threads int) {
+	ycsb.Load(p, d.newClient, w, threads, 0, w.Spec.RecordCount)
+	d.flush()
+	p.Sleep(quiesce)
+}

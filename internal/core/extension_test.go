@@ -1,0 +1,101 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunGeoLatencyOrdering(t *testing.T) {
+	o := DefaultGeoOptions()
+	o.Records = 800
+	o.OpsPerLevel = 1500
+	res, err := RunGeo(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("levels = %d", len(res))
+	}
+	byLevel := map[string]GeoResult{}
+	for _, g := range res {
+		byLevel[g.Level] = g
+		if g.Errors > 0 {
+			t.Errorf("%s: %d errors", g.Level, g.Errors)
+		}
+	}
+	wan := 40 * time.Millisecond // half the 80ms inter-zone RTT
+	// ONE and LOCAL_QUORUM stay intra-zone.
+	for _, lv := range []string{"ONE", "LOCAL_QUORUM"} {
+		if byLevel[lv].WriteMean > wan {
+			t.Errorf("%s write mean %v pays the WAN", lv, byLevel[lv].WriteMean)
+		}
+		if byLevel[lv].ReadMean > wan {
+			t.Errorf("%s read mean %v pays the WAN", lv, byLevel[lv].ReadMean)
+		}
+	}
+	// ALL always crosses zones (rf 4 spans both); QUORUM (3 of 4) needs a
+	// remote ack too with 2 replicas per zone.
+	for _, lv := range []string{"QUORUM", "ALL"} {
+		if byLevel[lv].WriteMean < wan {
+			t.Errorf("%s write mean %v suspiciously below the WAN floor", lv, byLevel[lv].WriteMean)
+		}
+	}
+	if !strings.Contains(res.Table().String(), "LOCAL_QUORUM") {
+		t.Error("table missing LOCAL_QUORUM row")
+	}
+}
+
+func TestRunFailoverAvailabilityShapes(t *testing.T) {
+	o := DefaultFailoverOptions()
+	o.Threads = 16
+	res, err := RunFailover(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("systems = %d", len(res))
+	}
+	sums := map[string]struct{ ok, errs int64 }{}
+	for _, tl := range res {
+		var ok, errs int64
+		for i := range tl.OK {
+			ok += tl.OK[i]
+			errs += tl.Errors[i]
+		}
+		sums[tl.System] = struct{ ok, errs int64 }{ok, errs}
+	}
+	// ONE and QUORUM ride through the failure: at most the handful of
+	// in-flight requests at the instant the node dies can error.
+	for _, sys := range []string{"Cassandra-ONE", "Cassandra-QUORUM"} {
+		if s := sums[sys]; s.errs > int64(o.Threads) {
+			t.Errorf("%s: %d errors, want availability through failure", sys, s.errs)
+		}
+	}
+	// ALL and single-owner HBase error throughout the outage.
+	for _, sys := range []string{"Cassandra-ALL", "HBase"} {
+		if s := sums[sys]; s.errs < 50 {
+			t.Errorf("%s: only %d errors despite a dead node", sys, s.errs)
+		}
+	}
+	// Errors are confined to the failure window (± one bucket for ops in
+	// flight when the node dies).
+	for _, tl := range res {
+		failStart := int(o.FailAt/o.Bucket) - 1
+		failEnd := int(o.RecoverAt/o.Bucket) + 1
+		for i, e := range tl.Errors {
+			if e > 0 && (i < failStart || i > failEnd) {
+				t.Errorf("%s: errors in bucket %d outside the failure window", tl.System, i)
+			}
+		}
+	}
+	// Hinted handoff replayed for the weak levels.
+	for _, tl := range res {
+		if strings.HasPrefix(tl.System, "Cassandra-ONE") && tl.Replays == 0 {
+			t.Errorf("%s: no hint replays after recovery", tl.System)
+		}
+	}
+	if len(res.Figure().Series) != 4 || len(res.ThroughputFigure().Series) != 4 {
+		t.Error("figures malformed")
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cloudbench/internal/cassandra"
+	"cloudbench/internal/cluster"
+	"cloudbench/internal/hbase"
+	"cloudbench/internal/kv"
+	"cloudbench/internal/sim"
+	"cloudbench/internal/stats"
+	"cloudbench/internal/ycsb"
+)
+
+// FailoverOptions parameterizes the availability extension experiment
+// (related work §5: Pokluda & Sun benchmark failover characteristics by
+// watching throughput and latency while a node fails and recovers).
+type FailoverOptions struct {
+	Seed        int64
+	Servers     int
+	Replication int
+	Records     int64
+	Threads     int
+	Bucket      time.Duration // timeline resolution
+	FailAt      time.Duration
+	RecoverAt   time.Duration
+	End         time.Duration
+}
+
+// DefaultFailoverOptions fails one of six servers for four seconds.
+func DefaultFailoverOptions() FailoverOptions {
+	return FailoverOptions{
+		Seed:        1,
+		Servers:     6,
+		Replication: 3,
+		Records:     1_500,
+		Threads:     32,
+		Bucket:      500 * time.Millisecond,
+		FailAt:      2 * time.Second,
+		RecoverAt:   6 * time.Second,
+		End:         10 * time.Second,
+	}
+}
+
+// FailoverTimeline is the per-bucket availability trace of one system.
+type FailoverTimeline struct {
+	System  string
+	Bucket  time.Duration
+	OK      []int64 // successful ops per bucket
+	Errors  []int64
+	Hinted  int64 // hints replayed after recovery (Cassandra only)
+	Replays int64
+}
+
+// FailoverResults holds all systems' traces.
+type FailoverResults []FailoverTimeline
+
+// Figure renders error counts over time, one series per system.
+func (r FailoverResults) Figure() *stats.Figure {
+	f := stats.NewFigure("Extension — errors per bucket through failure and recovery",
+		"time (s)", "errors/bucket")
+	for _, tl := range r {
+		s := f.AddSeries(tl.System)
+		for i, e := range tl.Errors {
+			s.Add(float64(i)*tl.Bucket.Seconds(), float64(e))
+		}
+	}
+	return f
+}
+
+// ThroughputFigure renders successful ops over time.
+func (r FailoverResults) ThroughputFigure() *stats.Figure {
+	f := stats.NewFigure("Extension — successful ops per bucket through failure and recovery",
+		"time (s)", "ok-ops/bucket")
+	for _, tl := range r {
+		s := f.AddSeries(tl.System)
+		for i, ok := range tl.OK {
+			s.Add(float64(i)*tl.Bucket.Seconds(), float64(ok))
+		}
+	}
+	return f
+}
+
+// RunFailover traces availability through a fail/recover cycle for
+// Cassandra at ONE, QUORUM, and ALL, and for single-owner HBase.
+func RunFailover(o FailoverOptions) (FailoverResults, error) {
+	var out FailoverResults
+	for _, lv := range []ConsistencySetting{
+		{Name: "Cassandra-ONE", Read: kv.One, Write: kv.One},
+		{Name: "Cassandra-QUORUM", Read: kv.Quorum, Write: kv.Quorum},
+		{Name: "Cassandra-ALL", Read: kv.All, Write: kv.All},
+	} {
+		tl, err := runFailoverOne(o, lv.Name, func(k *sim.Kernel, servers []*cluster.Node, client *cluster.Node) (ycsb.ClientFactory, func() (int64, int64)) {
+			cfg := cassandra.DefaultConfig()
+			cfg.Replication = o.Replication
+			cfg.ReadCL, cfg.WriteCL = lv.Read, lv.Write
+			db := cassandra.New(k, cfg, servers)
+			return func() kv.Client { return db.NewClient(client) },
+				func() (int64, int64) { return db.HintsStored, db.HintsReplayed }
+		})
+		if err != nil {
+			return nil, fmt.Errorf("failover %s: %w", lv.Name, err)
+		}
+		out = append(out, tl)
+	}
+	tl, err := runFailoverOne(o, "HBase", func(k *sim.Kernel, servers []*cluster.Node, client *cluster.Node) (ycsb.ClientFactory, func() (int64, int64)) {
+		spec := ycsb.ReadUpdate(o.Records)
+		db := hbase.New(k, hbase.DefaultConfig(), servers, client, spec.SplitPoints(2*o.Servers))
+		return func() kv.Client { return db.NewClient(client) },
+			func() (int64, int64) { return 0, 0 }
+	})
+	if err != nil {
+		return nil, fmt.Errorf("failover hbase: %w", err)
+	}
+	out = append(out, tl)
+	return out, nil
+}
+
+func runFailoverOne(o FailoverOptions, name string, build func(*sim.Kernel, []*cluster.Node, *cluster.Node) (ycsb.ClientFactory, func() (int64, int64))) (FailoverTimeline, error) {
+	k := sim.NewKernel(o.Seed)
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = o.Servers + 1
+	rack := cluster.New(k, ccfg)
+	servers, clientNode := rack.Nodes[:o.Servers], rack.Nodes[o.Servers]
+	factory, hintStats := build(k, servers, clientNode)
+
+	buckets := int(o.End/o.Bucket) + 1
+	tl := FailoverTimeline{
+		System: name,
+		Bucket: o.Bucket,
+		OK:     make([]int64, buckets),
+		Errors: make([]int64, buckets),
+	}
+	victim := servers[len(servers)/2]
+	spec := ycsb.ReadUpdate(o.Records)
+
+	k.Spawn("driver", func(p *sim.Proc) {
+		w := ycsb.NewWorkload(spec)
+		ycsb.Load(p, factory, w, 16, 0, spec.RecordCount)
+		start := p.Now()
+		k.After(o.FailAt, func() { victim.Fail() })
+		k.After(o.RecoverAt, func() { victim.Recover() })
+
+		workers := make([]*sim.Proc, 0, o.Threads)
+		for t := 0; t < o.Threads; t++ {
+			cl := factory()
+			workers = append(workers, k.Spawn("worker", func(q *sim.Proc) {
+				rng := q.Rand()
+				for {
+					elapsed := q.Now().Sub(start)
+					if elapsed >= o.End {
+						return
+					}
+					b := int(elapsed / o.Bucket)
+					op := w.NextOp(rng)
+					var err error
+					if op.Type == ycsb.OpRead {
+						_, err = cl.Read(q, op.Key, nil)
+					} else {
+						err = cl.Update(q, op.Key, op.Record)
+					}
+					if err != nil && err != kv.ErrNotFound {
+						tl.Errors[b]++
+					} else {
+						tl.OK[b]++
+					}
+					q.Sleep(time.Duration(1+rng.Intn(4)) * time.Millisecond)
+				}
+			}))
+		}
+		for _, wk := range workers {
+			wk.Done().Await(p)
+		}
+		p.Sleep(30 * time.Second) // hint replay window
+		_, tl.Replays = hintStats()
+	})
+	err := k.Run()
+	return tl, err
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cloudbench/internal/cassandra"
+	"cloudbench/internal/cluster"
+	"cloudbench/internal/kv"
+	"cloudbench/internal/sim"
+	"cloudbench/internal/stats"
+	"cloudbench/internal/ycsb"
+)
+
+// GeoOptions parameterizes the geo-distributed extension experiment (§6:
+// "we need to build a geo-distributed testbed to conduct such tests").
+type GeoOptions struct {
+	Seed           int64
+	ServersPerZone int
+	Replication    int
+	InterZoneRTT   time.Duration
+	Records        int64
+	OpsPerLevel    int64
+	Threads        int
+}
+
+// DefaultGeoOptions models two regions 80 ms apart.
+func DefaultGeoOptions() GeoOptions {
+	return GeoOptions{
+		Seed:           1,
+		ServersPerZone: 6,
+		Replication:    4,
+		InterZoneRTT:   80 * time.Millisecond,
+		Records:        2_000,
+		OpsPerLevel:    3_000,
+		Threads:        48,
+	}
+}
+
+// GeoResult is one consistency level's latency profile from a zone-0
+// client against a two-zone deployment.
+type GeoResult struct {
+	Level     string
+	ReadMean  time.Duration
+	ReadP95   time.Duration
+	WriteMean time.Duration
+	WriteP95  time.Duration
+	Errors    int64
+}
+
+// GeoResults collects the sweep.
+type GeoResults []GeoResult
+
+// Table renders the geo experiment.
+func (r GeoResults) Table() *stats.Table {
+	t := stats.NewTable(
+		"Extension — geo-distributed read/write latency by consistency level (2 zones)",
+		"level", "read-mean", "read-p95", "write-mean", "write-p95", "errors")
+	for _, g := range r {
+		t.AddRow(g.Level,
+			g.ReadMean.Round(time.Microsecond).String(), g.ReadP95.Round(time.Microsecond).String(),
+			g.WriteMean.Round(time.Microsecond).String(), g.WriteP95.Round(time.Microsecond).String(),
+			g.Errors)
+	}
+	return t
+}
+
+// RunGeo measures read and write latency from a client in zone 0 at each
+// consistency level, over a topology-aware Cassandra spanning two zones.
+// LOCAL_QUORUM should track intra-zone latency; QUORUM and ALL pay the
+// wide-area round trip on most or all operations.
+func RunGeo(o GeoOptions) (GeoResults, error) {
+	levels := []ConsistencySetting{
+		{Name: "ONE", Read: kv.One, Write: kv.One},
+		{Name: "LOCAL_QUORUM", Read: kv.LocalQuorum, Write: kv.LocalQuorum},
+		{Name: "QUORUM", Read: kv.Quorum, Write: kv.Quorum},
+		{Name: "ALL", Read: kv.All, Write: kv.All},
+	}
+	var out GeoResults
+	for _, lv := range levels {
+		res, err := runGeoLevel(o, lv)
+		if err != nil {
+			return nil, fmt.Errorf("geo %s: %w", lv.Name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func runGeoLevel(o GeoOptions, lv ConsistencySetting) (GeoResult, error) {
+	k := sim.NewKernel(o.Seed)
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = 2*o.ServersPerZone + 1
+	ccfg.Zones = 2
+	ccfg.InterZoneRTT = o.InterZoneRTT
+	rack := cluster.New(k, ccfg)
+	servers := rack.Nodes[:2*o.ServersPerZone]
+	clientNode := rack.Nodes[2*o.ServersPerZone]
+
+	cfg := cassandra.DefaultConfig()
+	cfg.Replication = o.Replication
+	cfg.TopologyAware = true
+	cfg.ReadCL, cfg.WriteCL = lv.Read, lv.Write
+	db := cassandra.New(k, cfg, servers)
+
+	spec := ycsb.ReadUpdate(o.Records)
+	out := GeoResult{Level: lv.Name}
+	factory := func() kv.Client { return db.NewClient(clientNode) }
+
+	k.Spawn("driver", func(p *sim.Proc) {
+		w := ycsb.NewWorkload(spec)
+		ycsb.Load(p, factory, w, o.Threads, 0, spec.RecordCount)
+		p.Sleep(500 * time.Millisecond)
+		run := ycsb.NewWorkload(ycsb.ReadUpdate(w.Inserted()))
+		res := ycsb.Run(p, factory, run, ycsb.RunConfig{
+			Threads: o.Threads, Ops: o.OpsPerLevel, WarmupFraction: 0.1,
+		})
+		out.ReadMean = res.PerOp[ycsb.OpRead].Mean()
+		out.ReadP95 = res.PerOp[ycsb.OpRead].Percentile(95)
+		out.WriteMean = res.PerOp[ycsb.OpUpdate].Mean()
+		out.WriteP95 = res.PerOp[ycsb.OpUpdate].Percentile(95)
+		out.Errors = res.Errors
+	})
+	err := k.Run()
+	return out, err
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cloudbench/internal/kv"
+	"cloudbench/internal/sim"
+	"cloudbench/internal/stats"
+	"cloudbench/internal/ycsb"
+)
+
+// SLA is a service-level agreement of the form the paper's §6 proposes as
+// the better way to specify stress level: "at least Percentile percent of
+// requests get response within Limit". Compliance is checked against the
+// intended-latency distribution, so client backlog cannot hide a miss.
+type SLA struct {
+	Percentile float64
+	Limit      time.Duration
+}
+
+// String renders the SLA, e.g. "p95 ≤ 10ms".
+func (s SLA) String() string {
+	return fmt.Sprintf("p%g ≤ %v", s.Percentile, s.Limit)
+}
+
+// Met reports whether a run satisfied the SLA.
+func (s SLA) Met(res ycsb.Result) bool {
+	return res.Intended.Percentile(s.Percentile) <= s.Limit
+}
+
+// SLAProbe is one step of the search.
+type SLAProbe struct {
+	Target  float64
+	Runtime float64
+	Latency time.Duration // intended latency at the SLA percentile
+	Pass    bool
+}
+
+// SLAResult is the outcome of RunSLASearch: the highest sustainable
+// throughput that still meets the SLA, and the probe trail.
+type SLAResult struct {
+	DB            string
+	Workload      string
+	SLA           SLA
+	MaxThroughput float64
+	Probes        []SLAProbe
+}
+
+// Table renders the probe trail.
+func (r SLAResult) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("SLA search — %s, %s, %s → max sustainable %.0f ops/s",
+			r.DB, r.Workload, r.SLA, r.MaxThroughput),
+		"target-ops/sec", "runtime-ops/sec", "latency-at-percentile", "meets-sla")
+	for _, p := range r.Probes {
+		t.AddRow(p.Target, p.Runtime, p.Latency.Round(time.Microsecond).String(), p.Pass)
+	}
+	return t
+}
+
+// RunSLASearch finds, by bisection over the target throughput, the
+// maximum offered load at which the given database and workload still
+// meet the SLA — the §6 extension that lets different systems be compared
+// at equal user experience instead of equal offered load.
+func RunSLASearch(o Options, db string, rf int, specFn func(int64) ycsb.Spec, sla SLA, probes int) (SLAResult, error) {
+	if probes < 1 {
+		probes = 6
+	}
+	out := SLAResult{DB: db, SLA: sla}
+	spec := specFn(o.StressRecords)
+	out.Workload = spec.Name
+
+	var d *deployment
+	if db == "HBase" {
+		d = deployHBase(o, rf, spec)
+	} else {
+		d = deployCassandra(o, rf, kv.One, kv.One)
+	}
+	err := d.drive(func(p *sim.Proc) {
+		w := ycsb.NewWorkload(spec)
+		d.loadAndSettle(p, w, o.Threads)
+		records := w.Inserted()
+
+		probe := func(target float64) ycsb.Result {
+			run := specFn(records)
+			run.RecordCount = records
+			wl := ycsb.NewWorkload(run)
+			res := ycsb.Run(p, d.newClient, wl, ycsb.RunConfig{
+				Threads:          o.Threads,
+				Ops:              o.StressOps,
+				TargetThroughput: target,
+				WarmupFraction:   o.WarmupFraction,
+			})
+			records = wl.Inserted()
+			p.Sleep(quiesce / 4)
+			return res
+		}
+
+		// Capacity probe bounds the search.
+		cap := probe(0).Throughput
+		lo, hi := 0.0, cap*1.25
+		for i := 0; i < probes; i++ {
+			target := (lo + hi) / 2
+			res := probe(target)
+			pass := sla.Met(res)
+			out.Probes = append(out.Probes, SLAProbe{
+				Target:  target,
+				Runtime: res.Throughput,
+				Latency: res.Intended.Percentile(sla.Percentile),
+				Pass:    pass,
+			})
+			if pass {
+				lo = target
+				if target > out.MaxThroughput {
+					out.MaxThroughput = target
+				}
+			} else {
+				hi = target
+			}
+		}
+	})
+	return out, err
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"cloudbench/internal/stats"
+	"cloudbench/internal/ycsb"
+)
+
+// Table1 renders the paper's Table 1: the five stress workloads, their
+// typical usages, operation mixes, and request distributions.
+func Table1() *stats.Table {
+	t := stats.NewTable("Table 1 — workloads of the stress benchmarks for replication and consistency",
+		"workload", "typical-usage", "operations", "records-distribution")
+	for _, s := range []ycsb.Spec{
+		ycsb.ReadMostly(0),
+		ycsb.ReadLatest(0),
+		ycsb.ReadUpdate(0),
+		ycsb.ReadModifyWrite(0),
+		ycsb.ScanShortRanges(0),
+	} {
+		t.AddRow(s.Name, s.Usage, s.Comment, string(s.RequestDistribution))
+	}
+	return t
+}
+
+// VerifyTable1 checks the presets against the paper's published ratios,
+// returning a non-nil error naming the first mismatch. It is the
+// "experiment" for Table 1: the table is definitional, so reproduction
+// means byte-for-byte agreement of the mixes.
+func VerifyTable1() error {
+	type row struct {
+		spec ycsb.Spec
+		mix  map[ycsb.OpType]float64
+		dist ycsb.Distribution
+	}
+	rows := []row{
+		{ycsb.ReadMostly(0), map[ycsb.OpType]float64{ycsb.OpRead: 0.95, ycsb.OpUpdate: 0.05}, ycsb.DistZipfian},
+		{ycsb.ReadLatest(0), map[ycsb.OpType]float64{ycsb.OpRead: 0.80, ycsb.OpInsert: 0.20}, ycsb.DistLatest},
+		{ycsb.ReadUpdate(0), map[ycsb.OpType]float64{ycsb.OpRead: 0.50, ycsb.OpUpdate: 0.50}, ycsb.DistZipfian},
+		{ycsb.ReadModifyWrite(0), map[ycsb.OpType]float64{ycsb.OpRead: 0.50, ycsb.OpReadModifyWrite: 0.50}, ycsb.DistZipfian},
+		{ycsb.ScanShortRanges(0), map[ycsb.OpType]float64{ycsb.OpScan: 0.95, ycsb.OpInsert: 0.05}, ycsb.DistZipfian},
+	}
+	for _, r := range rows {
+		got := map[ycsb.OpType]float64{
+			ycsb.OpRead:            r.spec.ReadProportion,
+			ycsb.OpUpdate:          r.spec.UpdateProportion,
+			ycsb.OpInsert:          r.spec.InsertProportion,
+			ycsb.OpScan:            r.spec.ScanProportion,
+			ycsb.OpReadModifyWrite: r.spec.RMWProportion,
+		}
+		for op, want := range r.mix {
+			if got[op] != want {
+				return fmt.Errorf("table1 %s: %v proportion = %v, want %v", r.spec.Name, op, got[op], want)
+			}
+		}
+		var sum float64
+		for _, v := range got {
+			sum += v
+		}
+		if sum != 1 {
+			return fmt.Errorf("table1 %s: proportions sum to %v", r.spec.Name, sum)
+		}
+		if r.spec.RequestDistribution != r.dist {
+			return fmt.Errorf("table1 %s: distribution %q, want %q", r.spec.Name, r.spec.RequestDistribution, r.dist)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package kv
+
+import "cloudbench/internal/sim"
+
+// Client is the database-facing API the workload framework drives. Both
+// databases implement it; operations execute in virtual time on behalf of
+// the calling simulation process (one YCSB client thread = one process).
+//
+// A partial Record passed to Update writes only the supplied fields; the
+// merge with older fields happens at read time, newest version winning.
+type Client interface {
+	// Read returns the record at key, restricted to fields (nil = all).
+	Read(p *sim.Proc, key Key, fields []string) (Record, error)
+	// Insert stores a new record at key.
+	Insert(p *sim.Proc, key Key, rec Record) error
+	// Update overwrites the supplied fields of the record at key.
+	Update(p *sim.Proc, key Key, rec Record) error
+	// Delete removes the record at key.
+	Delete(p *sim.Proc, key Key) error
+	// Scan returns up to limit records starting at the first key ≥ start,
+	// in key order, restricted to fields (nil = all).
+	Scan(p *sim.Proc, start Key, limit int, fields []string) ([]KV, error)
+}

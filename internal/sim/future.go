@@ -1,0 +1,159 @@
+package sim
+
+// Future is a single-assignment cell that processes can block on. The first
+// Set wins; later Sets are ignored, which makes futures convenient for
+// racing a result against a timeout or a failure signal.
+type Future[T any] struct {
+	k         *Kernel
+	done      bool
+	val       T
+	waiters   []futWaiter
+	callbacks []func(T)
+}
+
+type futWaiter struct {
+	p     *Proc
+	timer *event // non-nil when the waiter also has a timeout pending
+}
+
+// NewFuture returns an unset future bound to k.
+func NewFuture[T any](k *Kernel) *Future[T] {
+	return &Future[T]{k: k}
+}
+
+// Done reports whether the future has been set.
+func (f *Future[T]) Done() bool { return f.done }
+
+// Value returns the future's value and whether it has been set.
+func (f *Future[T]) Value() (T, bool) { return f.val, f.done }
+
+// Set completes the future with v, waking all waiters and running all
+// OnDone callbacks inline. Setting an already-set future is a no-op.
+func (f *Future[T]) Set(v T) {
+	if f.done {
+		return
+	}
+	f.done = true
+	f.val = v
+	cbs := f.callbacks
+	f.callbacks = nil
+	for _, cb := range cbs {
+		cb(v)
+	}
+	waiters := f.waiters
+	f.waiters = nil
+	for _, w := range waiters {
+		if w.timer != nil {
+			f.k.cancel(w.timer)
+		}
+		p := w.p
+		f.k.noteRunnable(p)
+		f.k.schedule(f.k.now, func() { f.k.dispatch(p) })
+	}
+}
+
+// OnDone registers fn to run when the future is set. If the future is
+// already set, fn runs immediately. Callbacks execute in kernel context and
+// must not block.
+func (f *Future[T]) OnDone(fn func(T)) {
+	if f.done {
+		fn(f.val)
+		return
+	}
+	f.callbacks = append(f.callbacks, fn)
+}
+
+// Await blocks p until the future is set and returns its value.
+func (f *Future[T]) Await(p *Proc) T {
+	if f.done {
+		return f.val
+	}
+	f.waiters = append(f.waiters, futWaiter{p: p})
+	f.k.noteWaiting(p)
+	p.park("future")
+	return f.val
+}
+
+// AwaitTimeout blocks p until the future is set or d elapses. The second
+// result reports whether the future was set in time.
+func (f *Future[T]) AwaitTimeout(p *Proc, d Duration) (T, bool) {
+	if f.done {
+		return f.val, true
+	}
+	timedOut := false
+	timer := f.k.schedule(f.k.now.Add(d), func() {
+		timedOut = true
+		f.dropWaiter(p)
+		f.k.noteRunnable(p)
+		f.k.dispatch(p)
+	})
+	f.waiters = append(f.waiters, futWaiter{p: p, timer: timer})
+	f.k.noteWaiting(p)
+	p.park("future-timeout")
+	if timedOut {
+		var zero T
+		return zero, false
+	}
+	return f.val, true
+}
+
+func (f *Future[T]) dropWaiter(p *Proc) {
+	for i, w := range f.waiters {
+		if w.p == p {
+			f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Quorum counts successes and failures of a fixed number of attempts and
+// resolves as soon as the outcome is decided: success when need attempts
+// succeed, failure when so many have failed that need can no longer be
+// reached. It models the coordinator ack-counting at the heart of tunable
+// consistency.
+type Quorum struct {
+	need, total  int
+	succ, failed int
+	result       *Future[bool]
+}
+
+// NewQuorum returns a quorum that resolves true after need of total
+// attempts succeed. need must be in [0, total].
+func NewQuorum(k *Kernel, need, total int) *Quorum {
+	q := &Quorum{need: need, total: total, result: NewFuture[bool](k)}
+	if need <= 0 {
+		q.result.Set(true)
+	}
+	return q
+}
+
+// Succeed records one successful attempt.
+func (q *Quorum) Succeed() {
+	q.succ++
+	if q.succ >= q.need {
+		q.result.Set(true)
+	}
+}
+
+// Fail records one failed attempt.
+func (q *Quorum) Fail() {
+	q.failed++
+	if q.total-q.failed < q.need {
+		q.result.Set(false)
+	}
+}
+
+// Successes returns the number of successes recorded so far.
+func (q *Quorum) Successes() int { return q.succ }
+
+// Wait blocks p until the quorum outcome is decided and returns it.
+func (q *Quorum) Wait(p *Proc) bool { return q.result.Await(p) }
+
+// WaitTimeout blocks p until the quorum is decided or d elapses. ok is the
+// quorum outcome; decided reports whether it resolved in time.
+func (q *Quorum) WaitTimeout(p *Proc, d Duration) (ok, decided bool) {
+	return q.result.AwaitTimeout(p, d)
+}
+
+// Done returns the quorum's result future.
+func (q *Quorum) Done() *Future[bool] { return q.result }

@@ -1,0 +1,67 @@
+package sim
+
+// Queue is an unbounded FIFO mailbox. Push never blocks and may be called
+// from kernel context (e.g. an OnDone callback); Pop blocks the calling
+// process until an item is available. It is the standard way to feed a
+// server process.
+type Queue[T any] struct {
+	k       *Kernel
+	items   []T
+	waiters []*Proc
+	pushed  int64
+}
+
+// NewQueue returns an empty queue bound to k.
+func NewQueue[T any](k *Kernel) *Queue[T] {
+	return &Queue[T]{k: k}
+}
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Pushed returns the total number of items ever pushed.
+func (q *Queue[T]) Pushed() int64 { return q.pushed }
+
+// Push appends v and wakes one waiting process, if any.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	q.pushed++
+	if len(q.waiters) > 0 {
+		p := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.k.noteRunnable(p)
+		q.k.schedule(q.k.now, func() { q.k.dispatch(p) })
+	}
+}
+
+// Pop blocks p until an item is available and removes and returns it.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		q.k.noteWaiting(p)
+		p.park("queue")
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	// If items remain and more waiters are parked, keep the chain going:
+	// a single Push wakes one waiter, but a waiter woken spuriously after
+	// another consumer raced it must not strand buffered items.
+	if len(q.items) > 0 && len(q.waiters) > 0 {
+		next := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.k.noteRunnable(next)
+		q.k.schedule(q.k.now, func() { q.k.dispatch(next) })
+	}
+	return v
+}
+
+// TryPop removes and returns the head item without blocking. ok reports
+// whether an item was available.
+func (q *Queue[T]) TryPop() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}

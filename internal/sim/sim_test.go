@@ -1,0 +1,453 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	k := NewKernel(1)
+	var woke Time
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		woke = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != Time(5*time.Millisecond) {
+		t.Fatalf("woke at %v, want 5ms", woke)
+	}
+}
+
+func TestSpawnStartsAtCurrentTime(t *testing.T) {
+	k := NewKernel(1)
+	var childStart Time
+	k.Spawn("parent", func(p *Proc) {
+		p.Sleep(time.Second)
+		k.Spawn("child", func(c *Proc) {
+			childStart = c.Now()
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childStart != Time(time.Second) {
+		t.Fatalf("child started at %v, want 1s", childStart)
+	}
+}
+
+func TestEventOrderingIsFIFOAtSameInstant(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.After(time.Millisecond, func() { order = append(order, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestFutureAwaitBeforeSet(t *testing.T) {
+	k := NewKernel(1)
+	f := NewFuture[int](k)
+	var got int
+	var gotAt Time
+	k.Spawn("waiter", func(p *Proc) {
+		got = f.Await(p)
+		gotAt = p.Now()
+	})
+	k.Spawn("setter", func(p *Proc) {
+		p.Sleep(3 * time.Millisecond)
+		f.Set(42)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 || gotAt != Time(3*time.Millisecond) {
+		t.Fatalf("got %d at %v, want 42 at 3ms", got, gotAt)
+	}
+}
+
+func TestFutureAwaitAfterSet(t *testing.T) {
+	k := NewKernel(1)
+	f := NewFuture[string](k)
+	f.Set("ready")
+	var got string
+	k.Spawn("waiter", func(p *Proc) { got = f.Await(p) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "ready" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFutureFirstSetWins(t *testing.T) {
+	k := NewKernel(1)
+	f := NewFuture[int](k)
+	f.Set(1)
+	f.Set(2)
+	if v, ok := f.Value(); !ok || v != 1 {
+		t.Fatalf("value = %d,%v want 1,true", v, ok)
+	}
+}
+
+func TestFutureTimeoutExpires(t *testing.T) {
+	k := NewKernel(1)
+	f := NewFuture[int](k)
+	var ok bool
+	var at Time
+	k.Spawn("waiter", func(p *Proc) {
+		_, ok = f.AwaitTimeout(p, 10*time.Millisecond)
+		at = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok || at != Time(10*time.Millisecond) {
+		t.Fatalf("ok=%v at=%v, want timeout at 10ms", ok, at)
+	}
+}
+
+func TestFutureTimeoutBeatenBySet(t *testing.T) {
+	k := NewKernel(1)
+	f := NewFuture[int](k)
+	var got int
+	var ok bool
+	k.Spawn("waiter", func(p *Proc) {
+		got, ok = f.AwaitTimeout(p, 10*time.Millisecond)
+	})
+	k.Spawn("setter", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		f.Set(7)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok || got != 7 {
+		t.Fatalf("got=%d ok=%v, want 7,true", got, ok)
+	}
+}
+
+func TestFutureOnDoneRunsInline(t *testing.T) {
+	k := NewKernel(1)
+	f := NewFuture[int](k)
+	var seen []int
+	f.OnDone(func(v int) { seen = append(seen, v) })
+	f.Set(5)
+	f.OnDone(func(v int) { seen = append(seen, v*2) })
+	if len(seen) != 2 || seen[0] != 5 || seen[1] != 10 {
+		t.Fatalf("seen = %v", seen)
+	}
+}
+
+func TestResourceSerializesAtCapacity(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, "disk", 1)
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		k.Spawn(fmt.Sprintf("user%d", i), func(p *Proc) {
+			r.Use(p, 10*time.Millisecond)
+			finish = append(finish, p.Now())
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{Time(10 * time.Millisecond), Time(20 * time.Millisecond), Time(30 * time.Millisecond)}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestResourceParallelAtHigherCapacity(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, "cpu", 2)
+	var finish []Time
+	for i := 0; i < 4; i++ {
+		k.Spawn(fmt.Sprintf("user%d", i), func(p *Proc) {
+			r.Use(p, 10*time.Millisecond)
+			finish = append(finish, p.Now())
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two at a time: finish at 10,10,20,20 ms.
+	want := []Time{Time(10 * time.Millisecond), Time(10 * time.Millisecond), Time(20 * time.Millisecond), Time(20 * time.Millisecond)}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, "disk", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("user%d", i), func(p *Proc) {
+			p.Sleep(Duration(i) * time.Microsecond) // arrive in index order
+			r.Use(p, time.Millisecond)
+			order = append(order, i)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("service order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, "disk", 1)
+	k.Spawn("user", func(p *Proc) {
+		r.Use(p, 30*time.Millisecond)
+		p.Sleep(70 * time.Millisecond)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if u := r.Utilization(); u < 0.29 || u > 0.31 {
+		t.Fatalf("utilization = %v, want ~0.30", u)
+	}
+}
+
+func TestQuorumResolvesOnNeed(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQuorum(k, 2, 3)
+	var ok bool
+	var at Time
+	k.Spawn("coordinator", func(p *Proc) {
+		ok = q.Wait(p)
+		at = p.Now()
+	})
+	delays := []Duration{5 * time.Millisecond, 1 * time.Millisecond, 9 * time.Millisecond}
+	for _, d := range delays {
+		d := d
+		k.After(d, func() { q.Succeed() })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok || at != Time(5*time.Millisecond) {
+		t.Fatalf("ok=%v at=%v, want true at 5ms (2nd ack)", ok, at)
+	}
+}
+
+func TestQuorumFailsWhenImpossible(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQuorum(k, 3, 3)
+	var ok bool
+	k.Spawn("coordinator", func(p *Proc) { ok = q.Wait(p) })
+	k.After(time.Millisecond, func() { q.Succeed() })
+	k.After(2*time.Millisecond, func() { q.Fail() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("quorum resolved true despite an unreachable need")
+	}
+}
+
+func TestQuorumZeroNeedIsImmediate(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQuorum(k, 0, 3)
+	if !q.Done().Done() {
+		t.Fatal("need=0 quorum should resolve immediately")
+	}
+}
+
+func TestQueueBlocksAndDelivers(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQueue[int](k)
+	var got []int
+	k.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Pop(p))
+		}
+	})
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(time.Millisecond)
+			q.Push(i)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got = %v", got)
+		}
+	}
+}
+
+func TestQueueMultipleConsumersDrainBacklog(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQueue[int](k)
+	var count int
+	for i := 0; i < 3; i++ {
+		k.Spawn(fmt.Sprintf("consumer%d", i), func(p *Proc) {
+			q.Pop(p)
+			count++
+		})
+	}
+	k.Spawn("producer", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		// Push all three at once; each Push wakes one consumer, and
+		// Pop's re-wake chain must not strand items.
+		q.Push(1)
+		q.Push(2)
+		q.Push(3)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	k := NewKernel(1)
+	f := NewFuture[int](k)
+	k.Spawn("stuck", func(p *Proc) { f.Await(p) })
+	err := k.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(de.Blocked) != 1 {
+		t.Fatalf("blocked = %v, want 1 entry", de.Blocked)
+	}
+}
+
+func TestRunUntilStopsAtLimit(t *testing.T) {
+	k := NewKernel(1)
+	ticks := 0
+	k.Spawn("ticker", func(p *Proc) {
+		for {
+			p.Sleep(time.Second)
+			ticks++
+		}
+	})
+	if err := k.RunUntil(Time(5*time.Second + time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+	if k.Now() != Time(5*time.Second+time.Millisecond) {
+		t.Fatalf("now = %v", k.Now())
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []string {
+		k := NewKernel(42)
+		var log []string
+		r := NewResource(k, "disk", 2)
+		for i := 0; i < 8; i++ {
+			i := i
+			k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					p.Sleep(Duration(p.Rand().Intn(1000)) * time.Microsecond)
+					r.Use(p, Duration(p.Rand().Intn(500))*time.Microsecond)
+					log = append(log, fmt.Sprintf("%d@%v", i, p.Now()))
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverges at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestKillUnwindsProcess(t *testing.T) {
+	k := NewKernel(1)
+	var reached bool
+	p := k.Spawn("victim", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		reached = true
+	})
+	k.Spawn("killer", func(q *Proc) {
+		q.Sleep(time.Millisecond)
+		p.Kill()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if reached {
+		t.Fatal("killed process ran past its sleep")
+	}
+	if !p.Done().Done() {
+		t.Fatal("killed process did not terminate")
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	k := NewKernel(1)
+	k.Spawn("boom", func(p *Proc) { panic("kaboom") })
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("recovered %v, want kaboom", r)
+		}
+	}()
+	k.Run()
+	t.Fatal("expected panic")
+}
+
+func TestDoneFutureFiresOnNormalExit(t *testing.T) {
+	k := NewKernel(1)
+	var observed Time
+	p := k.Spawn("worker", func(p *Proc) { p.Sleep(4 * time.Millisecond) })
+	k.Spawn("watcher", func(w *Proc) {
+		p.Done().Await(w)
+		observed = w.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if observed != Time(4*time.Millisecond) {
+		t.Fatalf("observed exit at %v, want 4ms", observed)
+	}
+}
+
+func TestAfterRunsInKernelContext(t *testing.T) {
+	k := NewKernel(1)
+	var at Time
+	k.After(7*time.Millisecond, func() { at = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != Time(7*time.Millisecond) {
+		t.Fatalf("at = %v", at)
+	}
+}

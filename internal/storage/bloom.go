@@ -1,0 +1,68 @@
+package storage
+
+import "cloudbench/internal/kv"
+
+// Bloom is a standard Bloom filter over row keys, built once per SSTable.
+// It uses double hashing over a 64-bit FNV-1a base hash.
+type Bloom struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    int    // number of probes
+}
+
+// NewBloom sizes a filter for n keys at bitsPerKey bits each; k probes are
+// derived as bitsPerKey * ln2 (clamped to [1, 30]).
+func NewBloom(n, bitsPerKey int) *Bloom {
+	if n < 1 {
+		n = 1
+	}
+	m := uint64(n * bitsPerKey)
+	if m < 64 {
+		m = 64
+	}
+	k := int(float64(bitsPerKey) * 0.69)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return &Bloom{bits: make([]uint64, (m+63)/64), m: m, k: k}
+}
+
+func fnv64(s kv.Key) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Add inserts a key.
+func (b *Bloom) Add(key kv.Key) {
+	h := fnv64(key)
+	delta := h>>33 | h<<31
+	for i := 0; i < b.k; i++ {
+		pos := h % b.m
+		b.bits[pos/64] |= 1 << (pos % 64)
+		h += delta
+	}
+}
+
+// MayContain reports whether key might be present (no false negatives).
+func (b *Bloom) MayContain(key kv.Key) bool {
+	h := fnv64(key)
+	delta := h>>33 | h<<31
+	for i := 0; i < b.k; i++ {
+		pos := h % b.m
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+		h += delta
+	}
+	return true
+}
+
+// Bytes returns the filter's modeled size.
+func (b *Bloom) Bytes() int { return len(b.bits) * 8 }

@@ -1,0 +1,103 @@
+package storage
+
+import (
+	"math/rand"
+
+	"cloudbench/internal/kv"
+)
+
+const maxHeight = 12
+
+// skiplist is a deterministic skiplist keyed by kv.Key, mapping each key to
+// its mutable *Row. It backs the memtable.
+type skiplist struct {
+	head   *slNode
+	height int
+	rng    *rand.Rand
+	n      int
+}
+
+type slNode struct {
+	key  kv.Key
+	row  *Row
+	next [maxHeight]*slNode
+}
+
+func newSkiplist(rng *rand.Rand) *skiplist {
+	return &skiplist{head: &slNode{}, height: 1, rng: rng}
+}
+
+func (s *skiplist) randomHeight() int {
+	h := 1
+	for h < maxHeight && s.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGE returns the first node with key ≥ k, recording the rightmost node
+// before it on each level in prev (when prev != nil).
+func (s *skiplist) findGE(k kv.Key, prev *[maxHeight]*slNode) *slNode {
+	x := s.head
+	for level := s.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && x.next[level].key < k {
+			x = x.next[level]
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+	}
+	return x.next[0]
+}
+
+// Get returns the row at key, or nil.
+func (s *skiplist) Get(k kv.Key) *Row {
+	if n := s.findGE(k, nil); n != nil && n.key == k {
+		return n.row
+	}
+	return nil
+}
+
+// GetOrCreate returns the row at key, inserting an empty row if absent.
+func (s *skiplist) GetOrCreate(k kv.Key) *Row {
+	var prev [maxHeight]*slNode
+	if n := s.findGE(k, &prev); n != nil && n.key == k {
+		return n.row
+	}
+	h := s.randomHeight()
+	for s.height < h {
+		prev[s.height] = s.head
+		s.height++
+	}
+	node := &slNode{key: k, row: NewRow()}
+	for level := 0; level < h; level++ {
+		node.next[level] = prev[level].next[level]
+		prev[level].next[level] = node
+	}
+	s.n++
+	return node.row
+}
+
+// Len returns the number of keys.
+func (s *skiplist) Len() int { return s.n }
+
+// iterator walks the list in key order.
+type slIter struct{ node *slNode }
+
+// Seek returns an iterator positioned at the first key ≥ k.
+func (s *skiplist) Seek(k kv.Key) *slIter { return &slIter{node: s.findGE(k, nil)} }
+
+// First returns an iterator at the smallest key.
+func (s *skiplist) First() *slIter { return &slIter{node: s.head.next[0]} }
+
+// Valid reports whether the iterator points at an entry.
+func (it *slIter) Valid() bool { return it.node != nil }
+
+// Key returns the current key; only valid when Valid().
+func (it *slIter) Key() kv.Key { return it.node.key }
+
+// Row returns the current row; only valid when Valid().
+func (it *slIter) Row() *Row { return it.node.row }
+
+// Next advances the iterator.
+func (it *slIter) Next() { it.node = it.node.next[0] }

@@ -1,0 +1,167 @@
+package storage
+
+import (
+	"sort"
+
+	"cloudbench/internal/kv"
+	"cloudbench/internal/sim"
+)
+
+// TableEntry is one key's frozen row inside an SSTable.
+type TableEntry struct {
+	Key kv.Key
+	Row *Row // immutable once in a table
+}
+
+// SSTable is an immutable sorted run of rows, organized into fixed-size
+// blocks with an in-memory index of first keys and a bloom filter over all
+// keys — the classic BigTable file layout.
+type SSTable struct {
+	ID      int64
+	entries []TableEntry
+	// blockStart[i] is the index of block i's first entry; blockBytes[i]
+	// its modeled size.
+	blockStart []int
+	blockBytes []int
+	firstKeys  []kv.Key
+	bloom      *Bloom
+	bytes      int64
+}
+
+// BuildTable constructs an SSTable from entries, which must be sorted by
+// key and contain no duplicates.
+func BuildTable(id int64, entries []TableEntry, blockBytes, bloomBitsPerKey int) *SSTable {
+	t := &SSTable{ID: id, entries: entries, bloom: NewBloom(len(entries), bloomBitsPerKey)}
+	cur := 0
+	for i, e := range entries {
+		t.bloom.Add(e.Key)
+		if cur == 0 || cur >= blockBytes {
+			t.blockStart = append(t.blockStart, i)
+			t.firstKeys = append(t.firstKeys, e.Key)
+			t.blockBytes = append(t.blockBytes, 0)
+			cur = 0
+		}
+		sz := e.Row.Bytes() + len(e.Key)
+		cur += sz
+		t.blockBytes[len(t.blockBytes)-1] += sz
+		t.bytes += int64(sz)
+	}
+	return t
+}
+
+// Len returns the number of rows.
+func (t *SSTable) Len() int { return len(t.entries) }
+
+// Bytes returns the table's modeled on-disk size.
+func (t *SSTable) Bytes() int64 { return t.bytes }
+
+// Blocks returns the number of blocks.
+func (t *SSTable) Blocks() int { return len(t.blockStart) }
+
+// MayContain consults the bloom filter.
+func (t *SSTable) MayContain(key kv.Key) bool {
+	if len(t.entries) == 0 {
+		return false
+	}
+	return t.bloom.MayContain(key)
+}
+
+// blockFor returns the index of the block that would hold key, or -1 if
+// key precedes the table.
+func (t *SSTable) blockFor(key kv.Key) int {
+	i := sort.Search(len(t.firstKeys), func(i int) bool { return t.firstKeys[i] > key })
+	return i - 1
+}
+
+// loadBlock charges for making block b resident: a cache hit is free, a
+// miss pays one random block read against io.
+func (t *SSTable) loadBlock(p *sim.Proc, io TableIO, cache *BlockCache, b int) {
+	if b < 0 || b >= len(t.blockStart) {
+		return
+	}
+	if cache != nil && cache.Touch(t.ID, b, t.blockBytes[b]) {
+		return
+	}
+	io.ReadBlock(p, t.ID, t.blockBytes[b])
+}
+
+// Get returns the row at key, charging bloom-filtered block I/O, or nil.
+func (t *SSTable) Get(p *sim.Proc, io TableIO, cache *BlockCache, key kv.Key) *Row {
+	if !t.MayContain(key) {
+		return nil
+	}
+	b := t.blockFor(key)
+	if b < 0 {
+		return nil
+	}
+	t.loadBlock(p, io, cache, b)
+	lo, hi := t.blockStart[b], len(t.entries)
+	if b+1 < len(t.blockStart) {
+		hi = t.blockStart[b+1]
+	}
+	i := lo + sort.Search(hi-lo, func(i int) bool { return t.entries[lo+i].Key >= key })
+	if i < hi && t.entries[i].Key == key {
+		return t.entries[i].Row
+	}
+	return nil
+}
+
+// WarmCache inserts all of the table's blocks into the cache without
+// charging I/O, modeling the OS page cache retaining a freshly written
+// file (write-through): flush and compaction output is memory-resident
+// until evicted.
+func (t *SSTable) WarmCache(cache *BlockCache) {
+	if cache == nil {
+		return
+	}
+	for b := range t.blockStart {
+		cache.Touch(t.ID, b, t.blockBytes[b])
+	}
+}
+
+// Iter returns an iterator positioned at the first key ≥ start. Advancing
+// across block boundaries charges block loads.
+func (t *SSTable) Iter(p *sim.Proc, io TableIO, cache *BlockCache, start kv.Key) *TableIter {
+	i := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].Key >= start })
+	it := &TableIter{t: t, p: p, io: io, cache: cache, i: i, block: -1}
+	it.chargeBlock()
+	return it
+}
+
+// TableIter iterates an SSTable in key order, charging one block load per
+// block entered.
+type TableIter struct {
+	t     *SSTable
+	p     *sim.Proc
+	io    TableIO
+	cache *BlockCache
+	i     int
+	block int
+}
+
+func (it *TableIter) chargeBlock() {
+	if it.i >= len(it.t.entries) {
+		return
+	}
+	b := it.t.blockFor(it.t.entries[it.i].Key)
+	if b != it.block {
+		it.block = b
+		it.t.loadBlock(it.p, it.io, it.cache, b)
+	}
+}
+
+// Valid reports whether the iterator points at an entry.
+func (it *TableIter) Valid() bool { return it.i < len(it.t.entries) }
+
+// Key returns the current key.
+func (it *TableIter) Key() kv.Key { return it.t.entries[it.i].Key }
+
+// Row returns the current row.
+func (it *TableIter) Row() *Row { return it.t.entries[it.i].Row }
+
+// Next advances the iterator, charging a block load when crossing into a
+// new block.
+func (it *TableIter) Next() {
+	it.i++
+	it.chargeBlock()
+}

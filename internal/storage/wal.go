@@ -1,0 +1,72 @@
+package storage
+
+import (
+	"cloudbench/internal/sim"
+)
+
+// WAL is a write-ahead log with group commit: while one batch is being
+// written to the device, later appends accumulate and are committed
+// together in the next batch, amortizing device latency under load exactly
+// as HBase's HLog and Cassandra's commit log do.
+type WAL struct {
+	k   *sim.Kernel
+	log AppendLog
+
+	pendingBytes int
+	waiters      []*sim.Future[struct{}]
+	flushing     bool
+
+	// Appends counts individual Append calls; Batches counts device
+	// writes. Batches ≤ Appends, and the gap measures group commit.
+	Appends, Batches int64
+	BytesLogged      int64
+}
+
+// NewWAL returns a WAL writing batches to log.
+func NewWAL(k *sim.Kernel, log AppendLog) *WAL {
+	return &WAL{k: k, log: log}
+}
+
+// Append durably logs bytes, blocking p until the batch containing this
+// append reaches the device (HBase's per-edit WAL sync).
+func (w *WAL) Append(p *sim.Proc, bytes int) {
+	w.Appends++
+	w.pendingBytes += bytes
+	f := sim.NewFuture[struct{}](w.k)
+	w.waiters = append(w.waiters, f)
+	w.ensureFlusher()
+	f.Await(p)
+}
+
+// AppendAsync logs bytes without blocking the caller: the write is acked
+// from memory and a background batch carries it to the device (Cassandra's
+// commitlog_sync: periodic). The device load is still paid, just off the
+// latency path.
+func (w *WAL) AppendAsync(bytes int) {
+	w.Appends++
+	w.pendingBytes += bytes
+	w.ensureFlusher()
+}
+
+func (w *WAL) ensureFlusher() {
+	if !w.flushing {
+		w.flushing = true
+		w.k.Spawn("wal-flush", w.flushLoop)
+	}
+}
+
+func (w *WAL) flushLoop(p *sim.Proc) {
+	for w.pendingBytes > 0 || len(w.waiters) > 0 {
+		bytes := w.pendingBytes
+		waiters := w.waiters
+		w.pendingBytes = 0
+		w.waiters = nil
+		w.log.Append(p, bytes)
+		w.Batches++
+		w.BytesLogged += int64(bytes)
+		for _, f := range waiters {
+			f.Set(struct{}{})
+		}
+	}
+	w.flushing = false
+}

@@ -1,0 +1,98 @@
+package storage
+
+import (
+	"testing"
+	"time"
+
+	"cloudbench/internal/cluster"
+	"cloudbench/internal/sim"
+)
+
+func TestWALAppendAsyncDoesNotBlock(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := cluster.NewDisk(k, "wal", cluster.DefaultDiskConfig())
+	w := NewWAL(k, DiskLog{Disk: d})
+	var elapsed time.Duration
+	k.Spawn("writer", func(p *sim.Proc) {
+		start := p.Now()
+		for i := 0; i < 100; i++ {
+			w.AppendAsync(1000)
+		}
+		elapsed = p.Now().Sub(start)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != 0 {
+		t.Fatalf("async appends blocked the caller for %v", elapsed)
+	}
+	if w.BytesLogged != 100_000 {
+		t.Fatalf("bytes logged = %d, want all flushed in background", w.BytesLogged)
+	}
+	if w.Batches >= 100 {
+		t.Fatalf("batches = %d, want coalescing", w.Batches)
+	}
+}
+
+func TestWALMixedSyncAsync(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := cluster.NewDisk(k, "wal", cluster.DefaultDiskConfig())
+	w := NewWAL(k, DiskLog{Disk: d})
+	k.Spawn("writer", func(p *sim.Proc) {
+		w.AppendAsync(500)
+		w.Append(p, 500) // must wait for its batch, which includes the async bytes
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w.BytesLogged != 1000 || w.Appends != 2 {
+		t.Fatalf("logged=%d appends=%d", w.BytesLogged, w.Appends)
+	}
+}
+
+func TestEngineAsyncWALStillChargesDisk(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := cluster.NewDisk(k, "d", cluster.DefaultDiskConfig())
+	cfg := DefaultConfig()
+	cfg.SyncWAL = false
+	e := NewEngine(k, cfg, LocalIO{Disk: d}, DiskLog{Disk: d}, 1)
+	var writeLatency time.Duration
+	k.Spawn("client", func(p *sim.Proc) {
+		start := p.Now()
+		for i := 0; i < 50; i++ {
+			e.Apply(p, "k", nil, 1)
+		}
+		writeLatency = p.Now().Sub(start)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if writeLatency != 0 {
+		t.Fatalf("async-WAL writes took %v of caller time", writeLatency)
+	}
+	if d.WriteOps == 0 {
+		t.Fatal("commit log never reached the disk")
+	}
+}
+
+func TestCacheDropTableOnDeleteEviction(t *testing.T) {
+	// Warmed blocks of compacted-away tables must not crowd out live
+	// blocks forever: the LRU ages them, and the live table's blocks can
+	// be re-warmed without disk I/O via WarmCache.
+	c := NewBlockCache(1 << 10)
+	for b := 0; b < 8; b++ {
+		c.Touch(1, b, 100)
+	}
+	for b := 0; b < 8; b++ {
+		c.Touch(2, b, 100) // evicts table 1's oldest blocks
+	}
+	live := 0
+	for b := 0; b < 8; b++ {
+		if c.Contains(2, b) {
+			live++
+		}
+	}
+	if live < 6 {
+		t.Fatalf("live blocks cached = %d, want most of table 2", live)
+	}
+}

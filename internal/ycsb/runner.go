@@ -1,0 +1,213 @@
+package ycsb
+
+import (
+	"time"
+
+	"cloudbench/internal/kv"
+	"cloudbench/internal/sim"
+	"cloudbench/internal/stats"
+)
+
+// RunConfig controls one benchmark run phase.
+type RunConfig struct {
+	// Threads is the number of closed-loop client threads. The paper's
+	// §3.1 warns it must be large enough not to bottleneck the client.
+	Threads int
+	// Ops is the number of operations to execute.
+	Ops int64
+	// TargetThroughput is the aggregate offered load in ops/second; 0
+	// runs unthrottled (each thread issues as fast as responses return).
+	TargetThroughput float64
+	// WarmupFraction of Ops is executed before measurement starts, to
+	// absorb the cold-start effects §6 complains about.
+	WarmupFraction float64
+}
+
+// Result is the outcome of a run phase.
+type Result struct {
+	Workload string
+	Threads  int
+	Target   float64
+
+	// MeasuredOps and Elapsed cover the post-warmup window.
+	MeasuredOps int64
+	Elapsed     time.Duration
+	// Throughput is the runtime throughput in ops/second.
+	Throughput float64
+
+	Overall *stats.Histogram
+	// Intended measures latency from each operation's *scheduled* start
+	// under throttling (YCSB's coordinated-omission-corrected "intended"
+	// latency): when too few client threads carry the offered load, the
+	// backlog shows up here even though Overall stays flat — the §3.1
+	// client-thread effect.
+	Intended *stats.Histogram
+	PerOp    map[OpType]*stats.Histogram
+	Errors   int64
+	// NotFound counts reads of keys that were not visible — stale reads
+	// under weak consistency land here when the key is brand new.
+	NotFound int64
+}
+
+// Summary returns the overall latency summary.
+func (r *Result) Summary() stats.Summary { return r.Overall.Summarize() }
+
+// MeanLatency returns the overall mean latency.
+func (r *Result) MeanLatency() time.Duration { return r.Overall.Mean() }
+
+// ClientFactory builds one database client per thread; threads must not
+// share clients so coordinator round-robin and caches behave per
+// connection.
+type ClientFactory func() kv.Client
+
+// Load inserts records [from, to) with the given number of threads,
+// blocking the driver process until the load completes. It returns the
+// number of failed inserts.
+func Load(driver *sim.Proc, newClient ClientFactory, w *Workload, threads int, from, to int64) int64 {
+	if threads < 1 {
+		threads = 1
+	}
+	k := driver.Kernel()
+	var errs int64
+	next := from
+	procs := make([]*sim.Proc, 0, threads)
+	for t := 0; t < threads; t++ {
+		cl := newClient()
+		procs = append(procs, k.Spawn("ycsb-load", func(p *sim.Proc) {
+			for {
+				if next >= to {
+					return
+				}
+				n := next
+				next++
+				op := w.LoadOp(p.Rand(), n)
+				if err := cl.Insert(p, op.Key, op.Record); err != nil {
+					errs++
+				}
+			}
+		}))
+	}
+	for _, p := range procs {
+		p.Done().Await(driver)
+	}
+	return errs
+}
+
+// Run executes one transaction phase, blocking the driver process, and
+// returns its Result.
+func Run(driver *sim.Proc, newClient ClientFactory, w *Workload, cfg RunConfig) Result {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	k := driver.Kernel()
+	res := Result{
+		Workload: w.Spec.Name,
+		Threads:  cfg.Threads,
+		Target:   cfg.TargetThroughput,
+		Overall:  &stats.Histogram{},
+		Intended: &stats.Histogram{},
+		PerOp:    make(map[OpType]*stats.Histogram),
+	}
+	for _, t := range []OpType{OpRead, OpUpdate, OpInsert, OpScan, OpReadModifyWrite} {
+		res.PerOp[t] = &stats.Histogram{}
+	}
+
+	warmupOps := int64(cfg.WarmupFraction * float64(cfg.Ops))
+	var issued, completed int64
+	var measureStart sim.Time
+	measuring := warmupOps == 0
+	start := k.Now()
+	if measuring {
+		measureStart = start
+	}
+
+	var interval time.Duration
+	if cfg.TargetThroughput > 0 {
+		interval = time.Duration(float64(cfg.Threads) / cfg.TargetThroughput * float64(time.Second))
+	}
+
+	procs := make([]*sim.Proc, 0, cfg.Threads)
+	for t := 0; t < cfg.Threads; t++ {
+		t := t
+		cl := newClient()
+		procs = append(procs, k.Spawn("ycsb-thread", func(p *sim.Proc) {
+			// Stagger thread start so paced threads do not fire in
+			// lockstep.
+			next := start
+			if interval > 0 {
+				next = start.Add(interval * time.Duration(t) / time.Duration(cfg.Threads))
+				if next.Sub(p.Now()) > 0 {
+					p.Sleep(next.Sub(p.Now()))
+				}
+			}
+			for {
+				if issued >= cfg.Ops {
+					return
+				}
+				issued++
+				intendedStart := p.Now()
+				if interval > 0 {
+					intendedStart = next
+					if wait := next.Sub(p.Now()); wait > 0 {
+						p.Sleep(wait)
+					}
+					next = next.Add(interval)
+				}
+				op := w.NextOp(p.Rand())
+				opStart := p.Now()
+				err := execute(p, cl, op)
+				end := p.Now()
+				w.Ack(op)
+				lat := end.Sub(opStart)
+				completed++
+				if !measuring && completed >= warmupOps {
+					measuring = true
+					measureStart = p.Now()
+				} else if measuring {
+					res.MeasuredOps++
+					res.Overall.Record(lat)
+					res.Intended.Record(end.Sub(intendedStart))
+					res.PerOp[op.Type].Record(lat)
+					if err == kv.ErrNotFound {
+						res.NotFound++
+					} else if err != nil {
+						res.Errors++
+					}
+				}
+			}
+		}))
+	}
+	for _, p := range procs {
+		p.Done().Await(driver)
+	}
+	res.Elapsed = k.Now().Sub(measureStart)
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.MeasuredOps) / res.Elapsed.Seconds()
+	}
+	return res
+}
+
+// execute performs one operation against the client. ErrNotFound on reads
+// is reported to the caller but is not a client error (it is how stale or
+// racing reads manifest).
+func execute(p *sim.Proc, cl kv.Client, op Op) error {
+	switch op.Type {
+	case OpRead:
+		_, err := cl.Read(p, op.Key, op.Fields)
+		return err
+	case OpUpdate:
+		return cl.Update(p, op.Key, op.Record)
+	case OpInsert:
+		return cl.Insert(p, op.Key, op.Record)
+	case OpScan:
+		_, err := cl.Scan(p, op.Key, op.ScanLen, nil)
+		return err
+	case OpReadModifyWrite:
+		if _, err := cl.Read(p, op.Key, nil); err != nil && err != kv.ErrNotFound {
+			return err
+		}
+		return cl.Update(p, op.Key, op.Record)
+	default:
+		return nil
+	}
+}

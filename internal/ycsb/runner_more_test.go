@@ -1,0 +1,97 @@
+package ycsb
+
+import (
+	"testing"
+	"time"
+
+	"cloudbench/internal/kv"
+	"cloudbench/internal/sim"
+)
+
+func TestIntendedLatencyEqualsActualWhenUnthrottled(t *testing.T) {
+	k := sim.NewKernel(1)
+	fake := newFake(time.Millisecond)
+	w := NewWorkload(ReadMostly(100))
+	var res Result
+	k.Spawn("driver", func(p *sim.Proc) {
+		Load(p, func() kv.Client { return fake }, w, 2, 0, 100)
+		res = Run(p, func() kv.Client { return fake }, w, RunConfig{Threads: 2, Ops: 400})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a, i := res.Overall.Mean(), res.Intended.Mean()
+	if a != i {
+		t.Fatalf("unthrottled intended %v != actual %v", i, a)
+	}
+}
+
+func TestIntendedLatencyExposesClientBacklog(t *testing.T) {
+	// 1 thread asked to deliver 2000 ops/s of 1ms work can only do
+	// 1000/s: the intended latency must blow up while the actual stays
+	// at the 1ms service time — YCSB's coordinated-omission story and
+	// the paper's §3.1 warning.
+	k := sim.NewKernel(2)
+	fake := newFake(time.Millisecond)
+	w := NewWorkload(ReadMostly(100))
+	var res Result
+	k.Spawn("driver", func(p *sim.Proc) {
+		Load(p, func() kv.Client { return fake }, w, 2, 0, 100)
+		res = Run(p, func() kv.Client { return fake }, w, RunConfig{
+			Threads: 1, Ops: 500, TargetThroughput: 2000,
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall.Mean() > 2*time.Millisecond {
+		t.Fatalf("actual latency %v should stay near service time", res.Overall.Mean())
+	}
+	if res.Intended.Mean() < 10*time.Millisecond {
+		t.Fatalf("intended latency %v should show the growing backlog", res.Intended.Mean())
+	}
+}
+
+func TestRunThrottledStaggersThreads(t *testing.T) {
+	// With heavy throttling the paced threads must not fire in lockstep:
+	// the stagger spreads intended start times across the interval.
+	k := sim.NewKernel(3)
+	fake := newFake(10 * time.Microsecond)
+	w := NewWorkload(ReadMostly(100))
+	var res Result
+	k.Spawn("driver", func(p *sim.Proc) {
+		Load(p, func() kv.Client { return fake }, w, 2, 0, 100)
+		res = Run(p, func() kv.Client { return fake }, w, RunConfig{
+			Threads: 10, Ops: 500, TargetThroughput: 1000,
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput < 900 || res.Throughput > 1100 {
+		t.Fatalf("throughput = %.0f, want ~1000", res.Throughput)
+	}
+}
+
+func TestReadLatestNeverReadsUnackedInserts(t *testing.T) {
+	// With the acknowledged counter, a strongly consistent (fake, map
+	// backed) store must never report NotFound for latest-distribution
+	// reads: every readable key number has a completed insert.
+	k := sim.NewKernel(4)
+	fake := newFake(200 * time.Microsecond)
+	w := NewWorkload(ReadLatest(200))
+	var res Result
+	k.Spawn("driver", func(p *sim.Proc) {
+		Load(p, func() kv.Client { return fake }, w, 4, 0, 200)
+		res = Run(p, func() kv.Client { return fake }, w, RunConfig{Threads: 8, Ops: 2000})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if res.NotFound != 0 {
+		t.Fatalf("NotFound = %d on a strongly consistent store", res.NotFound)
+	}
+	if res.PerOp[OpInsert].Count() == 0 {
+		t.Fatal("no inserts ran")
+	}
+}

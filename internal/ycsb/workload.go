@@ -1,0 +1,250 @@
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cloudbench/internal/kv"
+)
+
+// OpType enumerates the YCSB core operations.
+type OpType int
+
+// Operation kinds.
+const (
+	OpRead OpType = iota
+	OpUpdate
+	OpInsert
+	OpScan
+	OpReadModifyWrite
+)
+
+// String names the operation.
+func (o OpType) String() string {
+	switch o {
+	case OpRead:
+		return "READ"
+	case OpUpdate:
+		return "UPDATE"
+	case OpInsert:
+		return "INSERT"
+	case OpScan:
+		return "SCAN"
+	case OpReadModifyWrite:
+		return "RMW"
+	default:
+		return fmt.Sprintf("OpType(%d)", int(o))
+	}
+}
+
+// Distribution selects the request key distribution.
+type Distribution string
+
+// Supported request distributions.
+const (
+	DistUniform Distribution = "uniform"
+	DistZipfian Distribution = "zipfian"
+	DistLatest  Distribution = "latest"
+	DistHotSpot Distribution = "hotspot"
+)
+
+// Spec is a workload definition, mirroring a YCSB workload properties
+// file.
+type Spec struct {
+	Name    string
+	Usage   string // the paper's "typical usage" column
+	Comment string
+
+	RecordCount int64
+	FieldCount  int
+	FieldLength int // bytes per field (modeled)
+
+	ReadProportion   float64
+	UpdateProportion float64
+	InsertProportion float64
+	ScanProportion   float64
+	RMWProportion    float64
+
+	RequestDistribution Distribution
+	MaxScanLength       int
+	ReadAllFields       bool
+	WriteAllFields      bool
+
+	// KeyPad is the zero-padded width of key numbers; the key space is
+	// [0, 10^KeyPad).
+	KeyPad int
+}
+
+// keyMultiplier is coprime with every power of ten, so n*keyMultiplier mod
+// 10^KeyPad is a bijection: ordered key names get hash-scattered placement
+// (the role of YCSB's hashed key names) while staying fixed-width sortable.
+const keyMultiplier = 2654435761
+
+// keySpace returns the size of the key-number space.
+func (s *Spec) keySpace() int64 {
+	n := int64(1)
+	for i := 0; i < s.KeyPad; i++ {
+		n *= 10
+	}
+	return n
+}
+
+// KeyFor maps a logical key number to its row key.
+func (s *Spec) KeyFor(n int64) kv.Key {
+	scattered := (n % s.keySpace()) * keyMultiplier % s.keySpace()
+	return kv.Key(fmt.Sprintf("user%0*d", s.KeyPad, scattered))
+}
+
+// SplitPoints returns n-1 keys that divide the key space into n equal
+// shards; used to pre-split HBase regions.
+func (s *Spec) SplitPoints(n int) []kv.Key {
+	var out []kv.Key
+	space := s.keySpace()
+	for i := 1; i < n; i++ {
+		out = append(out, kv.Key(fmt.Sprintf("user%0*d", s.KeyPad, space/int64(n)*int64(i))))
+	}
+	return out
+}
+
+// RecordBytes returns the modeled size of one full record.
+func (s *Spec) RecordBytes() int { return s.FieldCount * s.FieldLength }
+
+// Op is one generated operation.
+type Op struct {
+	Type    OpType
+	Key     kv.Key
+	Keynum  int64     // logical key number; inserts acknowledge it
+	Record  kv.Record // for writes
+	Fields  []string  // for reads; nil = all
+	ScanLen int
+}
+
+// Workload turns a Spec into an operation stream. One Workload is shared
+// by all client threads of a run (the simulation kernel serializes
+// access).
+type Workload struct {
+	Spec       Spec
+	keyChooser Generator
+	opChooser  Discrete
+	scanLen    Uniform
+	inserted   *AcknowledgedCounter
+	fieldNames []string
+}
+
+// NewWorkload prepares generators for the spec. The insert counter starts
+// at RecordCount: the load phase inserts [0, RecordCount) and the run
+// phase appends beyond it.
+func NewWorkload(spec Spec) *Workload {
+	w := &Workload{Spec: spec, inserted: NewAcknowledgedCounter(spec.RecordCount)}
+	switch spec.RequestDistribution {
+	case DistUniform:
+		w.keyChooser = Uniform{Lo: 0, Hi: spec.RecordCount - 1}
+	case DistLatest:
+		w.keyChooser = NewLatest(w.inserted)
+	case DistHotSpot:
+		w.keyChooser = HotSpot{Lo: 0, Hi: spec.RecordCount - 1, HotFraction: 0.2, HotOpn: 0.8}
+	default: // zipfian
+		w.keyChooser = NewScrambledZipfian(spec.RecordCount)
+	}
+	w.opChooser.Add(spec.ReadProportion, int64(OpRead))
+	w.opChooser.Add(spec.UpdateProportion, int64(OpUpdate))
+	w.opChooser.Add(spec.InsertProportion, int64(OpInsert))
+	w.opChooser.Add(spec.ScanProportion, int64(OpScan))
+	w.opChooser.Add(spec.RMWProportion, int64(OpReadModifyWrite))
+	maxScan := spec.MaxScanLength
+	if maxScan < 1 {
+		maxScan = 1
+	}
+	w.scanLen = Uniform{Lo: 1, Hi: int64(maxScan)}
+	for i := 0; i < spec.FieldCount; i++ {
+		w.fieldNames = append(w.fieldNames, fmt.Sprintf("field%d", i))
+	}
+	return w
+}
+
+// Inserted returns the count of records assumed present: the load base
+// plus every acknowledged run-phase insert.
+func (w *Workload) Inserted() int64 { return w.inserted.LastAcked() + 1 }
+
+// Ack records that op (an insert) completed, unblocking the latest
+// distribution up to it. Non-insert ops are ignored.
+func (w *Workload) Ack(op Op) {
+	if op.Type == OpInsert {
+		w.inserted.Ack(op.Keynum)
+	}
+}
+
+// nextKeynum picks an existing key number, clamped to what has been
+// inserted so far.
+func (w *Workload) nextKeynum(rng *rand.Rand) int64 {
+	n := w.keyChooser.Next(rng)
+	limit := w.Inserted()
+	if limit < 1 {
+		limit = 1
+	}
+	if n >= limit {
+		n %= limit
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// buildValues creates a record of all fields (inserts) or one random field
+// (updates with WriteAllFields=false).
+func (w *Workload) buildValues(rng *rand.Rand, all bool) kv.Record {
+	rec := make(kv.Record)
+	if all {
+		for _, f := range w.fieldNames {
+			rec[f] = kv.SizedValue(w.Spec.FieldLength)
+		}
+		return rec
+	}
+	f := w.fieldNames[rng.Intn(len(w.fieldNames))]
+	rec[f] = kv.SizedValue(w.Spec.FieldLength)
+	return rec
+}
+
+// LoadOp returns the insert for load-phase record n.
+func (w *Workload) LoadOp(rng *rand.Rand, n int64) Op {
+	return Op{
+		Type:   OpInsert,
+		Key:    w.Spec.KeyFor(n),
+		Record: w.buildValues(rng, true),
+	}
+}
+
+// NextOp generates the next transaction-phase operation.
+func (w *Workload) NextOp(rng *rand.Rand) Op {
+	t := OpType(w.opChooser.Next(rng))
+	switch t {
+	case OpInsert:
+		n := w.inserted.Next(nil)
+		return Op{Type: OpInsert, Key: w.Spec.KeyFor(n), Keynum: n, Record: w.buildValues(rng, true)}
+	case OpUpdate:
+		return Op{
+			Type:   OpUpdate,
+			Key:    w.Spec.KeyFor(w.nextKeynum(rng)),
+			Record: w.buildValues(rng, w.Spec.WriteAllFields),
+		}
+	case OpScan:
+		return Op{
+			Type:    OpScan,
+			Key:     w.Spec.KeyFor(w.nextKeynum(rng)),
+			ScanLen: int(w.scanLen.Next(rng)),
+		}
+	case OpReadModifyWrite:
+		return Op{
+			Type:   OpReadModifyWrite,
+			Key:    w.Spec.KeyFor(w.nextKeynum(rng)),
+			Record: w.buildValues(rng, w.Spec.WriteAllFields),
+		}
+	default:
+		var fields []string
+		if !w.Spec.ReadAllFields {
+			fields = []string{w.fieldNames[rng.Intn(len(w.fieldNames))]}
+		}
+		return Op{Type: OpRead, Key: w.Spec.KeyFor(w.nextKeynum(rng)), Fields: fields}
+	}
+}
