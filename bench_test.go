@@ -201,6 +201,56 @@ func BenchmarkAblationClientThreads(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepParallel measures the wall-clock of the same Fig. 2 sweep
+// executed sequentially (workers-1) and fanned out across the sweep
+// scheduler (workers-4). The results are bit-identical either way (see
+// TestParallelSweepDeterminism); on a 4-core runner the 4-worker run should
+// be ≥3× faster since the sweep's 4 cells are independent simulations.
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(benchName("workers", "", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := benchOptions()
+				o.Parallelism = workers
+				o.StressRecords = 1_500
+				o.StressOps = 2_500
+				o.Seed = int64(i + 1)
+				if _, err := core.RunFig2(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKernelSleep measures the kernel's Sleep/dispatch hot path in
+// isolation — the per-event cost under every simulated client thread and
+// server stage. allocs/op must stay ~0: the event free list and the
+// per-process wake closure are what keep Sleep-heavy workloads (millions
+// of events per sweep cell) off the allocator.
+func BenchmarkKernelSleep(b *testing.B) {
+	k := sim.NewKernel(1)
+	stop := false
+	for i := 0; i < 16; i++ {
+		k.Spawn("sleeper", func(p *sim.Proc) {
+			for !stop {
+				p.Sleep(25)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k.RunUntil(sim.Time((i + 1) * 1_000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stop = true
+	b.StopTimer()
+	_ = k.RunUntil(sim.Time((b.N + 2) * 1_000))
+}
+
 // BenchmarkSimKernel measures the raw event throughput of the simulation
 // kernel itself — the substrate cost under everything above.
 func BenchmarkSimKernel(b *testing.B) {

@@ -4,7 +4,12 @@
 // Usage:
 //
 //	replbench -experiment table1|fig1|fig2|fig3|ablation-a1|ablation-a2|ablation-a3|findings|all \
-//	          [-profile quick|paper] [-seed N] [-rf 1,2,3] [-csv] [-o results.txt]
+//	          [-profile quick|paper] [-seed N] [-rf 1,2,3] [-parallel N] [-csv] [-o results.txt]
+//
+// Sweeps fan their independent cells out across host CPUs (-parallel bounds
+// the worker pool; 0 means one worker per CPU). Every cell is its own
+// single-threaded deterministic simulation, so the report is bit-identical
+// whatever the parallelism.
 //
 // Each experiment prints the corresponding table or figure series in the
 // same rows the paper reports, plus a findings summary comparing the
@@ -40,6 +45,7 @@ func run(args []string, stdout io.Writer) error {
 	experiment := fs.String("experiment", "all", "table1, fig1, fig2, fig3, ablation-a1, ablation-a2, ablation-a3, geo, failover, sla, findings, or all")
 	profile := fs.String("profile", "quick", "quick or paper scale")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	parallel := fs.Int("parallel", 0, "sweep cells run concurrently (0 = one per CPU); results are bit-identical for every value")
 	rfList := fs.String("rf", "", "comma-separated replication factors (default 1-6)")
 	noReadRepair := fs.Bool("no-read-repair", false, "disable Cassandra read repair (ablation A1 inline)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -58,6 +64,10 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown profile %q", *profile)
 	}
 	o.Seed = *seed
+	if *parallel < 0 {
+		return fmt.Errorf("bad -parallel %d", *parallel)
+	}
+	o.Parallelism = *parallel
 	if *rfList != "" {
 		var rfs []int
 		for _, part := range strings.Split(*rfList, ",") {

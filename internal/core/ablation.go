@@ -14,24 +14,51 @@ import (
 // update+read pipeline at each replication factor with read repair on and
 // off. The "off" series should flatten.
 func AblationReadRepair(o Options) (*stats.Figure, error) {
-	f := stats.NewFigure("Ablation A1 — Cassandra micro read latency vs RF, read repair on/off",
-		"replication-factor", "mean read latency (µs)")
-	for _, mode := range []struct {
+	modes := []struct {
 		name   string
 		chance float64
-	}{{"read-repair-on", o.ReadRepairChance}, {"read-repair-off", 0}} {
+	}{{"read-repair-on", o.ReadRepairChance}, {"read-repair-off", 0}}
+	f := stats.NewFigure("Ablation A1 — Cassandra micro read latency vs RF, read repair on/off",
+		"replication-factor", "mean read latency (µs)")
+	cells := abCells(len(modes), o.ReplicationFactors)
+	vals, err := runCells(o.workers(), len(cells), func(i int) (float64, error) {
+		c := cells[i]
 		opts := o
-		opts.ReadRepairChance = mode.chance
+		opts.ReadRepairChance = modes[c.mode].chance
+		res, err := runFig1Round(opts, "Cassandra", c.rf)
+		if err != nil {
+			return 0, fmt.Errorf("ablation read-repair rf=%d: %w", c.rf, err)
+		}
+		return float64(res.get("Cassandra", "read", c.rf).Microseconds()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, mode := range modes {
 		s := f.AddSeries(mode.name)
-		for _, rf := range o.ReplicationFactors {
-			res, err := runFig1Round(opts, "Cassandra", rf)
-			if err != nil {
-				return nil, fmt.Errorf("ablation read-repair rf=%d: %w", rf, err)
-			}
-			s.Add(float64(rf), float64(res.get("Cassandra", "read", rf).Microseconds()))
+		for ri, rf := range o.ReplicationFactors {
+			s.Add(float64(rf), vals[mi*len(o.ReplicationFactors)+ri])
 		}
 	}
 	return f, nil
+}
+
+// abCell is one (mode, replication factor) point of an ablation sweep.
+type abCell struct {
+	mode int
+	rf   int
+}
+
+// abCells enumerates a mode × RF ablation grid in mode-major order, which
+// matches the legacy sequential nesting (outer mode loop, inner RF loop).
+func abCells(modes int, rfs []int) []abCell {
+	cells := make([]abCell, 0, modes*len(rfs))
+	for m := 0; m < modes; m++ {
+		for _, rf := range rfs {
+			cells = append(cells, abCell{mode: m, rf: rf})
+		}
+	}
+	return cells
 }
 
 // AblationHBaseSyncRepl isolates the cause of F2 (§4.1: HBase write
@@ -39,21 +66,30 @@ func AblationReadRepair(o Options) (*stats.Figure, error) {
 // micro update test with the paper-described in-memory replication versus
 // synchronous disk replication. The sync series should climb with RF.
 func AblationHBaseSyncRepl(o Options) (*stats.Figure, error) {
-	f := stats.NewFigure("Ablation A2 — HBase micro update latency vs RF, in-memory vs sync replication",
-		"replication-factor", "mean update latency (µs)")
-	for _, mode := range []struct {
+	modes := []struct {
 		name string
 		mem  bool
-	}{{"in-memory-replication", true}, {"synchronous-replication", false}} {
+	}{{"in-memory-replication", true}, {"synchronous-replication", false}}
+	f := stats.NewFigure("Ablation A2 — HBase micro update latency vs RF, in-memory vs sync replication",
+		"replication-factor", "mean update latency (µs)")
+	cells := abCells(len(modes), o.ReplicationFactors)
+	vals, err := runCells(o.workers(), len(cells), func(i int) (float64, error) {
+		c := cells[i]
 		opts := o
-		opts.MemReplication = mode.mem
+		opts.MemReplication = modes[c.mode].mem
+		res, err := runFig1Round(opts, "HBase", c.rf)
+		if err != nil {
+			return 0, fmt.Errorf("ablation sync-repl rf=%d: %w", c.rf, err)
+		}
+		return float64(res.get("HBase", "update", c.rf).Microseconds()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, mode := range modes {
 		s := f.AddSeries(mode.name)
-		for _, rf := range o.ReplicationFactors {
-			res, err := runFig1Round(opts, "HBase", rf)
-			if err != nil {
-				return nil, fmt.Errorf("ablation sync-repl rf=%d: %w", rf, err)
-			}
-			s.Add(float64(rf), float64(res.get("HBase", "update", rf).Microseconds()))
+		for ri, rf := range o.ReplicationFactors {
+			s.Add(float64(rf), vals[mi*len(o.ReplicationFactors)+ri])
 		}
 	}
 	return f, nil
@@ -71,7 +107,8 @@ func AblationClientThreads(o Options, threadCounts []int, target float64) (*stat
 		fmt.Sprintf("Ablation A3 — intended latency vs client threads at %d ops/s offered", int(target)),
 		"client-threads", "mean intended latency (µs)")
 	s := f.AddSeries("HBase read-mostly")
-	for _, threads := range threadCounts {
+	vals, err := runCells(o.workers(), len(threadCounts), func(i int) (float64, error) {
+		threads := threadCounts[i]
 		spec := ycsb.ReadMostly(o.StressRecords)
 		d := deployHBase(o, 3, spec)
 		var mean time.Duration
@@ -90,9 +127,15 @@ func AblationClientThreads(o Options, threadCounts []int, target float64) (*stat
 			mean = res.Intended.Mean()
 		})
 		if err != nil {
-			return nil, fmt.Errorf("ablation threads=%d: %w", threads, err)
+			return 0, fmt.Errorf("ablation threads=%d: %w", threads, err)
 		}
-		s.Add(float64(threads), float64(mean.Microseconds()))
+		return float64(mean.Microseconds()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, threads := range threadCounts {
+		s.Add(float64(threads), vals[i])
 	}
 	return f, nil
 }

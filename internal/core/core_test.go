@@ -23,6 +23,20 @@ func reducedOptions() Options {
 	return o
 }
 
+// smokeOptions shrinks a sweep to single small cells for `go test -short`:
+// every mechanism still runs end to end, but the scale only supports
+// plumbing checks (row counts, rendering), not the paper's findings.
+func smokeOptions() Options {
+	o := QuickOptions()
+	o.ReplicationFactors = []int{3}
+	o.MicroRecords = 2_000
+	o.MicroOps = 3_000
+	o.StressRecords = 1_500
+	o.StressOps = 2_500
+	o.Fig3TargetFractions = []float64{1.0}
+	return o
+}
+
 func TestVerifyTable1(t *testing.T) {
 	if err := VerifyTable1(); err != nil {
 		t.Fatal(err)
@@ -96,7 +110,18 @@ func TestGCStopsWithDriver(t *testing.T) {
 
 func TestFig1ReproducesMicroFindings(t *testing.T) {
 	if testing.Short() {
-		t.Skip("multi-deployment sweep")
+		// 1-cell smoke: one database at one RF, plumbing only.
+		res, err := RunFig1Round(smokeOptions(), "Cassandra", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 4 {
+			t.Fatalf("smoke results = %d, want 4 ops", len(res))
+		}
+		if len(res.Figures()) != 4 {
+			t.Fatal("smoke figures malformed")
+		}
+		return
 	}
 	res, err := RunFig1(reducedOptions())
 	if err != nil {
@@ -123,7 +148,18 @@ func TestFig1ReproducesMicroFindings(t *testing.T) {
 
 func TestFig2ReproducesStressFindings(t *testing.T) {
 	if testing.Short() {
-		t.Skip("multi-deployment sweep")
+		// 1-cell smoke: one database at one RF, plumbing only.
+		res, err := RunFig2Round(smokeOptions(), "HBase", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 5 {
+			t.Fatalf("smoke results = %d, want 5 workloads", len(res))
+		}
+		if len(res.ThroughputFigures()) != 5 {
+			t.Fatal("smoke figures malformed")
+		}
+		return
 	}
 	res, err := RunFig2(reducedOptions())
 	if err != nil {
@@ -145,7 +181,17 @@ func TestFig2ReproducesStressFindings(t *testing.T) {
 
 func TestFig3ReproducesConsistencyFindings(t *testing.T) {
 	if testing.Short() {
-		t.Skip("multi-deployment sweep")
+		// 1-cell smoke: one workload at one consistency level.
+		o := smokeOptions()
+		spec := ycsb.StressWorkloads(o.StressRecords)[0]
+		res, err := runFig3Workload(o, levels()[1], spec, []float64{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 || res[0].Level != "QUORUM" || res[0].Runtime <= 0 {
+			t.Fatalf("smoke results = %+v", res)
+		}
+		return
 	}
 	res, err := RunFig3(reducedOptions())
 	if err != nil {
@@ -164,9 +210,25 @@ func TestFig3ReproducesConsistencyFindings(t *testing.T) {
 	}
 }
 
+// ablationSmokeOptions shrinks the micro pipeline further for the -short
+// ablation smokes (two 1-RF cells each).
+func ablationSmokeOptions() Options {
+	o := smokeOptions()
+	o.MicroRecords = 1_200
+	o.MicroOps = 1_500
+	return o
+}
+
 func TestAblationHBaseSyncRepl(t *testing.T) {
 	if testing.Short() {
-		t.Skip("multi-deployment sweep")
+		fig, err := AblationHBaseSyncRepl(ablationSmokeOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := fig.Get("in-memory-replication"); m == nil || len(m.Y) != 1 {
+			t.Fatalf("smoke series malformed: %+v", fig)
+		}
+		return
 	}
 	o := reducedOptions()
 	fig, err := AblationHBaseSyncRepl(o)
@@ -193,7 +255,14 @@ func TestAblationHBaseSyncRepl(t *testing.T) {
 
 func TestAblationReadRepair(t *testing.T) {
 	if testing.Short() {
-		t.Skip("multi-deployment sweep")
+		fig, err := AblationReadRepair(ablationSmokeOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if on := fig.Get("read-repair-on"); on == nil || len(on.Y) != 1 {
+			t.Fatalf("smoke series malformed: %+v", fig)
+		}
+		return
 	}
 	o := reducedOptions()
 	fig, err := AblationReadRepair(o)
@@ -214,7 +283,14 @@ func TestAblationReadRepair(t *testing.T) {
 
 func TestAblationClientThreads(t *testing.T) {
 	if testing.Short() {
-		t.Skip("multi-deployment sweep")
+		fig, err := AblationClientThreads(smokeOptions(), []int{8}, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fig.Series[0].Y) != 1 {
+			t.Fatalf("smoke series malformed: %+v", fig)
+		}
+		return
 	}
 	o := reducedOptions()
 	fig, err := AblationClientThreads(o, []int{2, 32}, 3000)

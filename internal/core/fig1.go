@@ -46,19 +46,22 @@ func microSpec(op string, records int64) ycsb.Spec {
 
 // RunFig1 reproduces the micro benchmark for replication: six rounds, one
 // per replication factor, each running the four atomic tests back to back
-// on an unsaturated cluster, for both databases.
+// on an unsaturated cluster, for both databases. Rounds are independent
+// simulations and fan out across the sweep scheduler (Options.Parallelism).
 func RunFig1(o Options) (Fig1Results, error) {
-	var out Fig1Results
-	for _, db := range []string{"HBase", "Cassandra"} {
-		for _, rf := range o.ReplicationFactors {
-			res, err := runFig1Round(o, db, rf)
-			if err != nil {
-				return nil, fmt.Errorf("fig1 %s rf=%d: %w", db, rf, err)
-			}
-			out = append(out, res...)
+	cells := dbRFCells(o)
+	rounds, err := runCells(o.workers(), len(cells), func(i int) (Fig1Results, error) {
+		c := cells[i]
+		res, err := runFig1Round(o, c.db, c.rf)
+		if err != nil {
+			return nil, fmt.Errorf("fig1 %s rf=%d: %w", c.db, c.rf, err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return flattenCells(rounds), nil
 }
 
 // RunFig1Round runs one round of the micro benchmark: one database at one

@@ -30,19 +30,23 @@ type Fig2Results []StressResult
 // and runs the five Table 1 workloads one after another (§4.2's order:
 // read latest, scan short ranges, read mostly, read-modify-write,
 // read & update) with a constant number of client threads at full speed,
-// detecting the peak runtime throughput and corresponding latency.
+// detecting the peak runtime throughput and corresponding latency. Rounds
+// are independent simulations and fan out across the sweep scheduler
+// (Options.Parallelism).
 func RunFig2(o Options) (Fig2Results, error) {
-	var out Fig2Results
-	for _, db := range []string{"HBase", "Cassandra"} {
-		for _, rf := range o.ReplicationFactors {
-			res, err := runFig2Round(o, db, rf)
-			if err != nil {
-				return nil, fmt.Errorf("fig2 %s rf=%d: %w", db, rf, err)
-			}
-			out = append(out, res...)
+	cells := dbRFCells(o)
+	rounds, err := runCells(o.workers(), len(cells), func(i int) (Fig2Results, error) {
+		c := cells[i]
+		res, err := runFig2Round(o, c.db, c.rf)
+		if err != nil {
+			return nil, fmt.Errorf("fig2 %s rf=%d: %w", c.db, c.rf, err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return flattenCells(rounds), nil
 }
 
 // RunFig2Round runs one round of the stress benchmark for replication:

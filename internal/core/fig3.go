@@ -31,99 +31,121 @@ type Fig3Results []ConsistencyResult
 // The target sweep is auto-calibrated per workload: an unthrottled run at
 // CL=ONE measures the capacity, and Options.Fig3TargetFractions of that
 // capacity become the shared target list for all three levels.
+//
+// Every (consistency level, workload) pair is a self-contained deployment,
+// so the capacity probes fan out across the sweep scheduler first and the
+// full level × workload grid fans out after the shared targets are known.
 func RunFig3(o Options) (Fig3Results, error) {
-	var out Fig3Results
+	specs := ycsb.StressWorkloads(o.StressRecords)
+
 	// Capacity probe per workload at ONE.
-	capacities := make(map[string]float64)
-	probe, err := runFig3Round(o, levels()[0], nil, capacities)
+	probes, err := runCells(o.workers(), len(specs), func(i int) (Fig3Results, error) {
+		return runFig3Workload(o, levels()[0], specs[i], []float64{0})
+	})
 	if err != nil {
 		return nil, fmt.Errorf("fig3 capacity probe: %w", err)
 	}
-	out = append(out, probe...)
+	out := Fig3Results(flattenCells(probes))
 
-	// Build shared target lists.
+	// Build shared target lists from the probed capacities.
+	capacities := make(map[string]float64)
+	for _, m := range out {
+		if m.Target == 0 {
+			capacities[m.Workload] = m.Runtime
+		}
+	}
 	targets := make(map[string][]float64)
 	for wl, cap := range capacities {
 		for _, f := range o.Fig3TargetFractions {
 			targets[wl] = append(targets[wl], cap*f)
 		}
 	}
-	for _, lv := range levels() {
-		res, err := runFig3Round(o, lv, targets, nil)
-		if err != nil {
-			return nil, fmt.Errorf("fig3 %s: %w", lv.Name, err)
-		}
-		out = append(out, res...)
+
+	// Level × workload grid, level-major so the flattened results keep the
+	// paper's reporting order (ONE, QUORUM, writeALL).
+	type gridCell struct {
+		lv   ConsistencySetting
+		spec ycsb.Spec
 	}
-	return out, nil
+	var cells []gridCell
+	for _, lv := range levels() {
+		for _, spec := range specs {
+			cells = append(cells, gridCell{lv: lv, spec: spec})
+		}
+	}
+	rounds, err := runCells(o.workers(), len(cells), func(i int) (Fig3Results, error) {
+		c := cells[i]
+		// Unthrottled (closed-loop) first — the paper detects the *peak*
+		// runtime throughput and the closed loop is each level's natural
+		// maximum — then the throttled sweep ascending, so the overloaded
+		// high-target runs (which leave queue backlogs behind) come last.
+		tlist := append([]float64{0}, targets[c.spec.Name]...)
+		res, err := runFig3Workload(o, c.lv, c.spec, tlist)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 %s: %w", c.lv.Name, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append(out, flattenCells(rounds)...), nil
 }
 
 // RunFig3Level runs the five workloads once, unthrottled, at one
 // consistency setting — the capacity measurement underlying one Fig. 3
-// series (the Target field of each result is 0).
+// series (the Target field of each result is 0). Workloads fan out across
+// the sweep scheduler.
 func RunFig3Level(o Options, lv ConsistencySetting) (Fig3Results, error) {
-	return runFig3Round(o, lv, nil, nil)
+	specs := ycsb.StressWorkloads(o.StressRecords)
+	rounds, err := runCells(o.workers(), len(specs), func(i int) (Fig3Results, error) {
+		return runFig3Workload(o, lv, specs[i], []float64{0})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return flattenCells(rounds), nil
 }
 
-// runFig3Round runs the five workloads at one consistency setting. With
-// targets == nil it runs each workload once unthrottled (capacity probe),
-// recording capacities; otherwise it runs each workload once per target,
-// unthrottled first, then the throttled sweep ascending.
+// runFig3Workload runs one workload at one consistency setting through the
+// given target-throughput list (0 = unthrottled closed loop) — one sweep
+// cell of the Fig. 3 grid.
 //
-// Each workload gets a fresh deployment. The paper ran the five tests
-// back to back on one cluster and §4.3 itself attributes part of its scan
-// result to that ordering ("we run this test after the read latest test
-// which has repaired the majority of inconsistency"); isolating the
-// workloads keeps every measurement independent of its predecessors.
-func runFig3Round(o Options, lv ConsistencySetting, targets map[string][]float64, capacities map[string]float64) (Fig3Results, error) {
+// Each cell gets a fresh deployment. The paper ran the five tests back to
+// back on one cluster and §4.3 itself attributes part of its scan result to
+// that ordering ("we run this test after the read latest test which has
+// repaired the majority of inconsistency"); isolating the workloads keeps
+// every measurement independent of its predecessors — and is what makes
+// the grid embarrassingly parallel.
+func runFig3Workload(o Options, lv ConsistencySetting, spec ycsb.Spec, tlist []float64) (Fig3Results, error) {
 	var out Fig3Results
-	for _, spec := range ycsb.StressWorkloads(o.StressRecords) {
-		spec := spec
-		d := deployCassandra(o, 3, lv.Read, lv.Write)
-		err := d.drive(func(p *sim.Proc) {
-			w := ycsb.NewWorkload(spec)
-			d.loadAndSettle(p, w, o.Threads)
-			records := w.Inserted()
-			var tlist []float64
-			if targets == nil {
-				tlist = []float64{0}
-			} else {
-				// Unthrottled (closed-loop) first — the paper detects
-				// the *peak* runtime throughput and the closed loop is
-				// each level's natural maximum — then the throttled
-				// sweep ascending, so the overloaded high-target runs
-				// (which leave queue backlogs behind) come last.
-				tlist = append([]float64{0}, targets[spec.Name]...)
-			}
-			for _, target := range tlist {
-				run := spec
-				run.RecordCount = records
-				wl := ycsb.NewWorkload(run)
-				res := ycsb.Run(p, d.newClient, wl, ycsb.RunConfig{
-					Threads:          o.Threads,
-					Ops:              o.StressOps,
-					TargetThroughput: target,
-					WarmupFraction:   o.WarmupFraction,
-				})
-				records = wl.Inserted()
-				out = append(out, ConsistencyResult{
-					Workload: spec.Name,
-					Level:    lv.Name,
-					Target:   target,
-					Runtime:  res.Throughput,
-					Mean:     res.MeanLatency(),
-				})
-				if capacities != nil && target == 0 {
-					capacities[spec.Name] = res.Throughput
-				}
-				p.Sleep(quiesce)
-			}
-		})
-		if err != nil {
-			return nil, err
+	d := deployCassandra(o, 3, lv.Read, lv.Write)
+	err := d.drive(func(p *sim.Proc) {
+		w := ycsb.NewWorkload(spec)
+		d.loadAndSettle(p, w, o.Threads)
+		records := w.Inserted()
+		for _, target := range tlist {
+			run := spec
+			run.RecordCount = records
+			wl := ycsb.NewWorkload(run)
+			res := ycsb.Run(p, d.newClient, wl, ycsb.RunConfig{
+				Threads:          o.Threads,
+				Ops:              o.StressOps,
+				TargetThroughput: target,
+				WarmupFraction:   o.WarmupFraction,
+			})
+			records = wl.Inserted()
+			out = append(out, ConsistencyResult{
+				Workload: spec.Name,
+				Level:    lv.Name,
+				Target:   target,
+				Runtime:  res.Throughput,
+				Mean:     res.MeanLatency(),
+			})
+			p.Sleep(quiesce)
 		}
-	}
-	return out, nil
+	})
+	return out, err
 }
 
 // Figures renders one runtime-vs-target panel per workload with a series

@@ -26,6 +26,14 @@ import (
 type Options struct {
 	Seed int64
 
+	// Parallelism bounds the sweep scheduler's worker pool: how many
+	// independent sweep cells (each a self-contained single-threaded
+	// simulation) run concurrently on host CPUs. 0 means one worker per
+	// available CPU (runtime.GOMAXPROCS). Results are bit-identical for
+	// every value — cells derive their seeds from Seed alone and are
+	// reassembled in canonical sweep order.
+	Parallelism int
+
 	// Topology: ServerNodes database machines plus one client machine
 	// (which also hosts the HBase master), mirroring the paper's 15+1.
 	ServerNodes int

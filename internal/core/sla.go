@@ -63,62 +63,84 @@ func (r SLAResult) Table() *stats.Table {
 // maximum offered load at which the given database and workload still
 // meet the SLA — the §6 extension that lets different systems be compared
 // at equal user experience instead of equal offered load.
+//
+// Each probe is a self-contained deployment submitted through the sweep
+// scheduler: isolating probes keeps a backlogged, overloaded probe from
+// polluting the one after it, and makes every probe's result a pure
+// function of (Options, target) — so the search outcome is independent of
+// Options.Parallelism even though bisection is inherently sequential (each
+// probe's target depends on the previous verdict).
 func RunSLASearch(o Options, db string, rf int, specFn func(int64) ycsb.Spec, sla SLA, probes int) (SLAResult, error) {
 	if probes < 1 {
 		probes = 6
 	}
 	out := SLAResult{DB: db, SLA: sla}
-	spec := specFn(o.StressRecords)
-	out.Workload = spec.Name
+	out.Workload = specFn(o.StressRecords).Name
 
+	probe := func(target float64) (ycsb.Result, error) {
+		cells, err := runCells(o.workers(), 1, func(int) (ycsb.Result, error) {
+			return runSLAProbe(o, db, rf, specFn, target)
+		})
+		if err != nil {
+			return ycsb.Result{}, err
+		}
+		return cells[0], nil
+	}
+
+	// Capacity probe bounds the search.
+	capRes, err := probe(0)
+	if err != nil {
+		return out, err
+	}
+	lo, hi := 0.0, capRes.Throughput*1.25
+	for i := 0; i < probes; i++ {
+		target := (lo + hi) / 2
+		res, err := probe(target)
+		if err != nil {
+			return out, err
+		}
+		pass := sla.Met(res)
+		out.Probes = append(out.Probes, SLAProbe{
+			Target:  target,
+			Runtime: res.Throughput,
+			Latency: res.Intended.Percentile(sla.Percentile),
+			Pass:    pass,
+		})
+		if pass {
+			lo = target
+			if target > out.MaxThroughput {
+				out.MaxThroughput = target
+			}
+		} else {
+			hi = target
+		}
+	}
+	return out, nil
+}
+
+// runSLAProbe deploys the database fresh, loads the base records, and runs
+// the workload once at the given offered load — one probe cell.
+func runSLAProbe(o Options, db string, rf int, specFn func(int64) ycsb.Spec, target float64) (ycsb.Result, error) {
+	spec := specFn(o.StressRecords)
 	var d *deployment
 	if db == "HBase" {
 		d = deployHBase(o, rf, spec)
 	} else {
 		d = deployCassandra(o, rf, kv.One, kv.One)
 	}
+	var out ycsb.Result
 	err := d.drive(func(p *sim.Proc) {
 		w := ycsb.NewWorkload(spec)
 		d.loadAndSettle(p, w, o.Threads)
-		records := w.Inserted()
-
-		probe := func(target float64) ycsb.Result {
-			run := specFn(records)
-			run.RecordCount = records
-			wl := ycsb.NewWorkload(run)
-			res := ycsb.Run(p, d.newClient, wl, ycsb.RunConfig{
-				Threads:          o.Threads,
-				Ops:              o.StressOps,
-				TargetThroughput: target,
-				WarmupFraction:   o.WarmupFraction,
-			})
-			records = wl.Inserted()
-			p.Sleep(quiesce / 4)
-			return res
-		}
-
-		// Capacity probe bounds the search.
-		cap := probe(0).Throughput
-		lo, hi := 0.0, cap*1.25
-		for i := 0; i < probes; i++ {
-			target := (lo + hi) / 2
-			res := probe(target)
-			pass := sla.Met(res)
-			out.Probes = append(out.Probes, SLAProbe{
-				Target:  target,
-				Runtime: res.Throughput,
-				Latency: res.Intended.Percentile(sla.Percentile),
-				Pass:    pass,
-			})
-			if pass {
-				lo = target
-				if target > out.MaxThroughput {
-					out.MaxThroughput = target
-				}
-			} else {
-				hi = target
-			}
-		}
+		run := specFn(w.Inserted())
+		run.RecordCount = w.Inserted()
+		wl := ycsb.NewWorkload(run)
+		out = ycsb.Run(p, d.newClient, wl, ycsb.RunConfig{
+			Threads:          o.Threads,
+			Ops:              o.StressOps,
+			TargetThroughput: target,
+			WarmupFraction:   o.WarmupFraction,
+		})
 	})
 	return out, err
 }

@@ -11,7 +11,17 @@ import (
 
 func TestSLASearchFindsSustainableThroughput(t *testing.T) {
 	if testing.Short() {
-		t.Skip("multi-run search")
+		// 2-probe smoke: capacity probe plus two bisection cells.
+		o := smokeOptions()
+		res, err := RunSLASearch(o, "Cassandra", 3, ycsb.ReadMostly,
+			SLA{Percentile: 95, Limit: 25 * time.Millisecond}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Probes) != 2 {
+			t.Fatalf("smoke probes = %d", len(res.Probes))
+		}
+		return
 	}
 	o := reducedOptions()
 	o.StressOps = 6000

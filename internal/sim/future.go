@@ -46,9 +46,8 @@ func (f *Future[T]) Set(v T) {
 		if w.timer != nil {
 			f.k.cancel(w.timer)
 		}
-		p := w.p
-		f.k.noteRunnable(p)
-		f.k.schedule(f.k.now, func() { f.k.dispatch(p) })
+		f.k.noteRunnable(w.p)
+		f.k.schedule(f.k.now, w.p.wake)
 	}
 }
 
@@ -81,7 +80,7 @@ func (f *Future[T]) AwaitTimeout(p *Proc, d Duration) (T, bool) {
 		return f.val, true
 	}
 	timedOut := false
-	timer := f.k.schedule(f.k.now.Add(d), func() {
+	timer := f.k.scheduleTimer(f.k.now.Add(d), func() {
 		timedOut = true
 		f.dropWaiter(p)
 		f.k.noteRunnable(p)

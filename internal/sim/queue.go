@@ -30,7 +30,7 @@ func (q *Queue[T]) Push(v T) {
 		p := q.waiters[0]
 		q.waiters = q.waiters[1:]
 		q.k.noteRunnable(p)
-		q.k.schedule(q.k.now, func() { q.k.dispatch(p) })
+		q.k.schedule(q.k.now, p.wake)
 	}
 }
 
@@ -50,7 +50,7 @@ func (q *Queue[T]) Pop(p *Proc) T {
 		next := q.waiters[0]
 		q.waiters = q.waiters[1:]
 		q.k.noteRunnable(next)
-		q.k.schedule(q.k.now, func() { q.k.dispatch(next) })
+		q.k.schedule(q.k.now, next.wake)
 	}
 	return v
 }

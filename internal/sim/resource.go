@@ -5,11 +5,12 @@ package sim
 // capacity, holds it for a service time, and releases it; contention shows
 // up as queueing delay in virtual time.
 type Resource struct {
-	k        *Kernel
-	name     string
-	capacity int
-	inUse    int
-	queue    []*Proc
+	k         *Kernel
+	name      string
+	parkLabel string // "resource:<name>", built once; Acquire parks with it
+	capacity  int
+	inUse     int
+	queue     []*Proc
 
 	// statistics
 	created   Time
@@ -26,7 +27,7 @@ func NewResource(k *Kernel, name string, capacity int) *Resource {
 	if capacity < 1 {
 		panic("sim: resource capacity must be >= 1")
 	}
-	return &Resource{k: k, name: name, capacity: capacity, created: k.now, lastT: k.now}
+	return &Resource{k: k, name: name, parkLabel: "resource:" + name, capacity: capacity, created: k.now, lastT: k.now}
 }
 
 // Name returns the resource's name.
@@ -58,7 +59,7 @@ func (r *Resource) Acquire(p *Proc) {
 	}
 	r.queue = append(r.queue, p)
 	r.k.noteWaiting(p)
-	p.park("resource:" + r.name)
+	p.park(r.parkLabel)
 	// The releaser transferred its unit to us; inUse is already counted.
 	r.waitTotal += r.k.now.Sub(start)
 }
@@ -71,7 +72,7 @@ func (r *Resource) Release() {
 		p := r.queue[0]
 		r.queue = r.queue[1:]
 		r.k.noteRunnable(p)
-		r.k.schedule(r.k.now, func() { r.k.dispatch(p) })
+		r.k.schedule(r.k.now, p.wake)
 		return
 	}
 	if r.inUse == 0 {

@@ -44,7 +44,8 @@ type event struct {
 	seq      uint64
 	fn       func()
 	canceled bool
-	index    int // heap index, -1 when popped
+	pinned   bool // referenced outside the kernel (timers); never recycled
+	index    int  // heap index, -1 when popped
 }
 
 type eventHeap []*event
@@ -86,6 +87,7 @@ type Kernel struct {
 	now    Time
 	seq    uint64
 	queue  eventHeap
+	free   []*event // recycled event structs (see schedule/RunUntil)
 	rng    *rand.Rand
 	seed   int64
 	live   int   // processes spawned and not yet terminated
@@ -106,6 +108,8 @@ type Kernel struct {
 // random stream derived from seed.
 func NewKernel(seed int64) *Kernel {
 	return &Kernel{
+		queue: make(eventHeap, 0, 1024),
+		free:  make([]*event, 0, 1024),
 		rng:   rand.New(rand.NewSource(seed)),
 		seed:  seed,
 		yield: make(chan struct{}),
@@ -126,16 +130,44 @@ func (k *Kernel) Seed() int64 { return k.seed }
 // yet terminated.
 func (k *Kernel) Live() int { return k.live }
 
-// schedule enqueues fn to run at time t and returns the event so callers
-// can cancel it.
+// schedule enqueues fn to run at time t. The event struct comes from the
+// kernel's free list when possible: Sleep-heavy workloads churn millions of
+// events per run, and recycling them keeps the hot path allocation-free.
+// Events handed out by schedule must not be retained by callers — use
+// scheduleTimer for events that are cancelable later.
 func (k *Kernel) schedule(t Time, fn func()) *event {
 	if t < k.now {
 		t = k.now
 	}
-	e := &event{t: t, seq: k.seq, fn: fn}
+	var e *event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free = k.free[:n-1]
+		e.t, e.seq, e.fn, e.canceled, e.pinned = t, k.seq, fn, false, false
+	} else {
+		e = &event{t: t, seq: k.seq, fn: fn}
+	}
 	k.seq++
 	heap.Push(&k.queue, e)
 	return e
+}
+
+// scheduleTimer is schedule for events whose pointer escapes the kernel
+// (future timeouts). Pinned events are exempt from recycling so a stale
+// cancel after the timer fired can never touch a reused struct.
+func (k *Kernel) scheduleTimer(t Time, fn func()) *event {
+	e := k.schedule(t, fn)
+	e.pinned = true
+	return e
+}
+
+// recycle returns a fired, unpinned event to the free list.
+func (k *Kernel) recycle(e *event) {
+	if e.pinned {
+		return
+	}
+	e.fn = nil
+	k.free = append(k.free, e)
 }
 
 // cancel removes a pending event. Canceling an already-fired event is a
@@ -168,6 +200,11 @@ type Proc struct {
 	killed bool
 	done   *Future[struct{}]
 	parked string // what the process is blocked on, for deadlock reports
+
+	// wake is the reusable "dispatch me" closure. Every park/unpark cycle
+	// schedules it, so allocating it once per process instead of once per
+	// event keeps Sleep and resource handoffs off the allocator.
+	wake func()
 }
 
 // Name returns the name the process was spawned with.
@@ -202,8 +239,9 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		id:     k.procs,
 		name:   name,
 		resume: make(chan struct{}),
-		rng:    rand.New(rand.NewSource(k.seed ^ int64(uint64(k.procs)*0x9e3779b97f4a7c15>>1))),
+		rng:    rand.New(rand.NewSource(procSeed(k.seed, k.procs))),
 	}
+	p.wake = func() { k.dispatch(p) }
 	p.done = NewFuture[struct{}](k)
 	k.live++
 	go func() {
@@ -222,8 +260,20 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		k.current = p
 		fn(p)
 	}()
-	k.schedule(k.now, func() { k.dispatch(p) })
+	k.schedule(k.now, p.wake)
 	return p
+}
+
+// procSeed derives the RNG seed for process id from the kernel seed using a
+// full splitmix64 finalizer. A plain xor of seed with id*constant (and in
+// particular `id*C>>1`, which shifts after the multiply) leaves neighbouring
+// process ids with correlated low bits; the finalizer's xor-shift-multiply
+// rounds diffuse every input bit across the whole output word.
+func procSeed(seed, id int64) int64 {
+	x := uint64(seed) + (uint64(id) * 0x9e3779b97f4a7c15)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return int64(x ^ (x >> 31))
 }
 
 // dispatch hands control to p until it parks or terminates.
@@ -251,12 +301,17 @@ func (p *Proc) park(why string) {
 }
 
 // Sleep suspends the process for d of virtual time.
+//
+// The park label is the static string "sleep" rather than a formatted
+// "sleep(5ms)": sleeping processes always have a pending wake event, so they
+// can never appear in a deadlock report, and formatting the label on every
+// park was the single largest allocation in the kernel's hot path.
 func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.k.schedule(p.k.now.Add(d), func() { p.k.dispatch(p) })
-	p.park(fmt.Sprintf("sleep(%v)", d))
+	p.k.schedule(p.k.now.Add(d), p.wake)
+	p.park("sleep")
 }
 
 // Yield reschedules the process at the current time, letting other pending
@@ -301,10 +356,13 @@ func (k *Kernel) RunUntil(limit Time) error {
 		}
 		heap.Pop(&k.queue)
 		if e.canceled {
+			k.recycle(e)
 			continue
 		}
 		k.now = e.t
-		e.fn()
+		fn := e.fn
+		k.recycle(e)
+		fn()
 	}
 	if k.live > 0 {
 		return &DeadlockError{Time: k.now, Blocked: k.blockedNames()}

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"testing"
 	"time"
 )
@@ -449,5 +451,108 @@ func TestAfterRunsInKernelContext(t *testing.T) {
 	}
 	if at != Time(7*time.Millisecond) {
 		t.Fatalf("at = %v", at)
+	}
+}
+
+func TestProcSeedDecorrelated(t *testing.T) {
+	// Neighbouring process ids must get uncorrelated RNG streams. The old
+	// derivation (seed ^ id*C>>1, which shifts after multiplying) left
+	// consecutive ids with correlated seeds; the splitmix64 finalizer must
+	// not. Check the lag-1 Pearson correlation of each process's first
+	// draw, plus a coarse uniformity bound on the mean.
+	const n = 256
+	k := NewKernel(7)
+	draws := make([]float64, n)
+	for i := 0; i < n; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			draws[i] = p.Rand().Float64()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, d := range draws {
+		mean += d
+	}
+	mean /= n
+	if mean < 0.4 || mean > 0.6 {
+		t.Errorf("mean of first draws = %.3f, want ~0.5", mean)
+	}
+	var num, dx, dy float64
+	for i := 0; i+1 < n; i++ {
+		a, b := draws[i]-mean, draws[i+1]-mean
+		num += a * b
+		dx += a * a
+		dy += b * b
+	}
+	if r := num / math.Sqrt(dx*dy); math.Abs(r) > 0.2 {
+		t.Errorf("lag-1 correlation of neighbouring first draws = %.3f, want ~0", r)
+	}
+	seen := make(map[float64]bool, n)
+	for _, d := range draws {
+		if seen[d] {
+			t.Fatalf("duplicate first draw %v across processes", d)
+		}
+		seen[d] = true
+	}
+}
+
+func TestEventRecyclingPreservesOrderAndTimers(t *testing.T) {
+	// Mix recycled sleep events with pinned timer events: ordering must
+	// stay FIFO-at-instant and a canceled timer must never cancel a
+	// recycled successor event.
+	k := NewKernel(1)
+	f := NewFuture[int](k)
+	var order []string
+	k.Spawn("timed", func(p *Proc) {
+		if v, ok := f.AwaitTimeout(p, 5*time.Millisecond); !ok || v != 9 {
+			t.Errorf("await = %v,%v want 9,true", v, ok)
+		}
+		order = append(order, "timed")
+	})
+	k.Spawn("setter", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		f.Set(9) // cancels the pinned timer; its struct must stay dead
+		for i := 0; i < 100; i++ {
+			p.Sleep(time.Microsecond) // churn through the free list
+		}
+		order = append(order, "setter")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "timed" || order[1] != "setter" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSleepHotPathDoesNotAllocate(t *testing.T) {
+	// Steady-state Sleep cycles must reuse event structs and the per-proc
+	// wake closure: well under one allocation per event.
+	k := NewKernel(1)
+	const procs, rounds = 8, 2000
+	for i := 0; i < procs; i++ {
+		k.Spawn(fmt.Sprintf("sleeper%d", i), func(p *Proc) {
+			for j := 0; j < rounds; j++ {
+				p.Sleep(time.Microsecond)
+			}
+		})
+	}
+	// Warm up goroutines, free list, and heap capacity.
+	if err := k.RunUntil(Time(100 * time.Microsecond)); err != nil {
+		t.Fatal(err)
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	events := float64(procs * rounds)
+	perEvent := float64(after.Mallocs-before.Mallocs) / events
+	if perEvent > 0.1 {
+		t.Errorf("allocs/event = %.3f, want ~0 (free list or wake closure regressed)", perEvent)
 	}
 }
