@@ -14,12 +14,20 @@ import (
 	"math/rand"
 	"testing"
 
+	"cloudbench/internal/consistency"
 	"cloudbench/internal/core"
+	"cloudbench/internal/kv"
 	"cloudbench/internal/sim"
 	"cloudbench/internal/ycsb"
 )
 
 func benchOptions() core.Options {
+	if testing.Short() {
+		// CI's bench smoke (-benchtime=1x -short) only proves every
+		// benchmark still runs; smoke scale keeps the whole suite under a
+		// minute.
+		return core.SmokeOptions()
+	}
 	o := core.QuickOptions()
 	o.ReplicationFactors = []int{1, 6}
 	return o
@@ -196,6 +204,53 @@ func BenchmarkAblationClientThreads(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.ReportMetric(fig.Series[0].Y[0], "intended-µs")
+			}
+		})
+	}
+}
+
+// BenchmarkConsistencyAudit runs the full consistency-audit grid at smoke
+// scale, reporting the headline stale-read percentage of the deepest
+// CL=ONE cell next to the simulator's wall-clock cost.
+func BenchmarkConsistencyAudit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := core.SmokeOptions()
+		o.Seed = int64(i + 1)
+		res, err := core.RunConsistencyAudit(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range res {
+			if m.DB == "Cassandra" && m.Level == "ONE" && m.Workload == "read-update" && !m.Fault && m.RF == 3 {
+				b.ReportMetric(100*m.Consistency.StaleFraction(), "stale-%")
+			}
+		}
+	}
+}
+
+// BenchmarkOracleHooks measures the per-event cost of the consistency
+// oracle's write/read hooks, and — on the nil receiver, which is how the
+// databases run in every performance experiment — proves the disabled
+// hooks cost zero allocations (allocs/op must be 0 for the nil case).
+func BenchmarkOracleHooks(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		oracle *consistency.Oracle
+	}{{"nil", nil}, {"attached", consistency.New()}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			o := mode.oracle
+			o.BeginMeasure(0)
+			key := kv.Key("user42")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ver := kv.Version(i + 1)
+				at := sim.Time(i)
+				o.WriteBegin(key, ver, 3, at)
+				o.ReplicaApply(key, ver, 0, consistency.ApplyWrite, at)
+				o.WriteAck(key, ver, at)
+				o.ReadObserved(-1, key, ver, at)
 			}
 		})
 	}

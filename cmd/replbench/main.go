@@ -3,13 +3,14 @@
 //
 // Usage:
 //
-//	replbench -experiment table1|fig1|fig2|fig3|ablation-a1|ablation-a2|ablation-a3|findings|all \
-//	          [-profile quick|paper] [-seed N] [-rf 1,2,3] [-parallel N] [-csv] [-o results.txt]
+//	replbench -experiment table1|fig1|fig2|fig3|audit|ablation-a1|ablation-a2|ablation-a3|geo|failover|sla|findings|all \
+//	          [-profile smoke|quick|paper] [-seed N] [-rf 1,2,3] [-parallel N] [-csv] [-o results.txt]
 //
 // Sweeps fan their independent cells out across host CPUs (-parallel bounds
 // the worker pool; 0 means one worker per CPU). Every cell is its own
 // single-threaded deterministic simulation, so the report is bit-identical
-// whatever the parallelism.
+// whatever the parallelism. -seed and -csv apply uniformly to every
+// experiment, including the geo and failover extensions.
 //
 // Each experiment prints the corresponding table or figure series in the
 // same rows the paper reports, plus a findings summary comparing the
@@ -42,8 +43,8 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("replbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "table1, fig1, fig2, fig3, ablation-a1, ablation-a2, ablation-a3, geo, failover, sla, findings, or all")
-	profile := fs.String("profile", "quick", "quick or paper scale")
+	experiment := fs.String("experiment", "all", "table1, fig1, fig2, fig3, audit, ablation-a1, ablation-a2, ablation-a3, geo, failover, sla, findings, or all")
+	profile := fs.String("profile", "quick", "smoke, quick, or paper scale")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	parallel := fs.Int("parallel", 0, "sweep cells run concurrently (0 = one per CPU); results are bit-identical for every value")
 	rfList := fs.String("rf", "", "comma-separated replication factors (default 1-6)")
@@ -56,6 +57,8 @@ func run(args []string, stdout io.Writer) error {
 
 	var o core.Options
 	switch *profile {
+	case "smoke":
+		o = core.SmokeOptions()
 	case "quick":
 		o = core.QuickOptions()
 	case "paper":
@@ -146,6 +149,14 @@ func run(args []string, stdout io.Writer) error {
 		}
 		findings = append(findings, core.CheckFig3(res)...)
 	}
+	if want("audit") {
+		res, err := core.RunConsistencyAudit(o)
+		if err != nil {
+			return err
+		}
+		render(res.Table())
+		findings = append(findings, core.CheckAudit(res)...)
+	}
 	if want("ablation-a1") {
 		fig, err := core.AblationReadRepair(o)
 		if err != nil {
@@ -168,14 +179,18 @@ func run(args []string, stdout io.Writer) error {
 		render(fig.Table())
 	}
 	if want("geo") {
-		res, err := core.RunGeo(core.DefaultGeoOptions())
+		g := core.DefaultGeoOptions()
+		g.Seed = *seed
+		res, err := core.RunGeo(g)
 		if err != nil {
 			return err
 		}
 		render(res.Table())
 	}
 	if want("failover") {
-		res, err := core.RunFailover(core.DefaultFailoverOptions())
+		fo := core.DefaultFailoverOptions()
+		fo.Seed = *seed
+		res, err := core.RunFailover(fo)
 		if err != nil {
 			return err
 		}

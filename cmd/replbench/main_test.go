@@ -28,6 +28,32 @@ func TestRunTable1CSV(t *testing.T) {
 	}
 }
 
+func TestRunAuditSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "audit", "-profile", "smoke"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Consistency audit", "stale-%", "hint-applies", "FA1", "FA2", "FA3", "FA4", "done in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "✗") {
+		t.Errorf("audit finding failed at smoke scale:\n%s", out)
+	}
+}
+
+func TestRunAuditSmokeCSV(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "audit", "-profile", "smoke", "-csv", "-seed", "7"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "db,workload,level,rf,fault,ops/sec") {
+		t.Errorf("csv header missing:\n%s", b.String())
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-experiment", "table1", "-profile", "bogus"}, &b); err == nil {

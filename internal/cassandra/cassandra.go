@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"cloudbench/internal/cluster"
+	"cloudbench/internal/consistency"
 	"cloudbench/internal/kv"
 	"cloudbench/internal/sim"
 	"cloudbench/internal/storage"
@@ -55,6 +56,20 @@ type Config struct {
 	// HintWindow bounds how long a hint is kept before being dropped
 	// (Cassandra's max_hint_window_in_ms, default 3 h).
 	HintWindow time.Duration
+	// MutationStageMeanDelay models the replica-side MutationStage: each
+	// mutation apply waits an exponentially distributed extra delay with
+	// mean MutationStageMeanDelay × Replication before executing (SEDA
+	// stage hand-off and JVM thread-scheduling variance; the stage's
+	// offered load scales with the replication factor because every
+	// client write fans out to RF replicas). Zero, the default, disables
+	// it: deliveries then process strictly FIFO per node, under which a
+	// read issued after a write's ack can never overtake the main
+	// replica's pending apply, so CL=ONE staleness is structurally
+	// impossible. The latency experiments leave it off (sub-millisecond
+	// jitter is second order for latency); the consistency audit turns it
+	// on, because this per-message reordering is exactly what opens the
+	// real-world CL=ONE visibility window it measures.
+	MutationStageMeanDelay time.Duration
 }
 
 // DefaultConfig returns a Cassandra configuration matching the paper's
@@ -111,6 +126,7 @@ type DB struct {
 	nextVersion  kv.Version
 	rrSeq        uint64 // deterministic read-repair dice
 	hintProcLive bool
+	oracle       *consistency.Oracle
 
 	// Metrics.
 	Reads, Writes, ScansDone       int64
@@ -149,6 +165,15 @@ func New(k *sim.Kernel, cfg Config, nodes []*cluster.Node) *DB {
 	db.ring = buildRing(db.reps, cfg.VNodes, rng.Uint64)
 	return db
 }
+
+// SetOracle attaches a consistency oracle observing every write lifecycle
+// event and read observation. Pass nil (the default) to run unobserved:
+// every hook call site is gated on a nil check, so the paper's performance
+// experiments pay nothing for the instrumentation.
+func (db *DB) SetOracle(o *consistency.Oracle) { db.oracle = o }
+
+// Oracle returns the attached consistency oracle, if any.
+func (db *DB) Oracle() *consistency.Oracle { return db.oracle }
 
 // Replicas returns the database's hosts.
 func (db *DB) Replicas() []*Replica { return db.reps }
@@ -201,8 +226,13 @@ func (db *DB) mutationSize(key kv.Key, rec kv.Record) int {
 
 // applyLocal performs the replica-side work of a mutation: CPU (internal
 // verb, cheaper than a client-facing request), commit log append, memtable
-// apply.
-func (rep *Replica) applyLocal(p *sim.Proc, db *DB, key kv.Key, rec kv.Record, del bool, ver kv.Version) {
+// apply. src tells the oracle how the version reached this replica (write
+// fan-out, read repair, or hint replay).
+func (rep *Replica) applyLocal(p *sim.Proc, db *DB, key kv.Key, rec kv.Record, del bool, ver kv.Version, src consistency.ApplySource) {
+	if d := db.cfg.MutationStageMeanDelay; d > 0 {
+		mean := float64(d) * float64(db.cfg.Replication)
+		p.Sleep(time.Duration(p.Rand().ExpFloat64() * mean))
+	}
 	cost := db.cl.Config.InternalOpCost
 	if cost <= 0 {
 		cost = db.cl.Config.CPUOpCost
@@ -212,6 +242,9 @@ func (rep *Replica) applyLocal(p *sim.Proc, db *DB, key kv.Key, rec kv.Record, d
 		rep.engine.ApplyDelete(p, key, ver)
 	} else {
 		rep.engine.Apply(p, key, rec, ver)
+	}
+	if db.oracle != nil {
+		db.oracle.ReplicaApply(key, ver, rep.Node.ID, src, p.Now())
 	}
 }
 
@@ -246,6 +279,9 @@ func (db *DB) write(p *sim.Proc, coord *Replica, key kv.Key, rec kv.Record, del 
 		return kv.ErrUnavailable
 	}
 	ver := db.version()
+	if db.oracle != nil {
+		db.oracle.WriteBegin(key, ver, len(replicas), db.k.Now())
+	}
 	size := db.mutationSize(key, rec)
 	q := sim.NewQuorum(db.k, need, countable)
 	for _, rep := range replicas {
@@ -260,7 +296,7 @@ func (db *DB) write(p *sim.Proc, coord *Replica, key kv.Key, rec kv.Record, del 
 			// Local apply still runs concurrently so a slow local
 			// commit-log append does not serialize the fan-out.
 			db.k.Spawn("c*-local-write", func(q2 *sim.Proc) {
-				rep.applyLocal(q2, db, key, rec, del, ver)
+				rep.applyLocal(q2, db, key, rec, del, ver, consistency.ApplyWrite)
 				if counts(rep) {
 					q.Succeed()
 				}
@@ -274,7 +310,7 @@ func (db *DB) write(p *sim.Proc, coord *Replica, key kv.Key, rec kv.Record, del 
 				}
 				return
 			}
-			rep.applyLocal(q2, db, key, rec, del, ver)
+			rep.applyLocal(q2, db, key, rec, del, ver, consistency.ApplyWrite)
 			if !rep.Node.SendTo(q2, coord.Node, db.cfg.RequestOverhead) {
 				if counts(rep) {
 					q.Fail()
@@ -294,6 +330,9 @@ func (db *DB) write(p *sim.Proc, coord *Replica, key kv.Key, rec kv.Record, del 
 	if !ok {
 		db.Unavails++
 		return kv.ErrUnavailable
+	}
+	if db.oracle != nil {
+		db.oracle.WriteAck(key, ver, db.k.Now())
 	}
 	return nil
 }
@@ -442,6 +481,29 @@ func (db *DB) read(p *sim.Proc, coord *Replica, key kv.Key, cl kv.ConsistencyLev
 	return dataRow, nil
 }
 
+// reconcile folds the successful responses' rows into merged in ascending
+// replica node-id order. Row merging is last-write-wins with the incumbent
+// cell kept on a version tie, so a fixed fold order pins tie resolution to
+// the lowest node id regardless of contact order, arrival order, or which
+// replica happened to serve the data read. Write timestamps are unique
+// today (one coordinator counter), which makes this behavior-neutral; it
+// exists so reconciliation can never become order-dependent if versioning
+// ever gains ties, and so oracle version-lag counts stay deterministic.
+func reconcile(merged *storage.Row, resps []readResponse) {
+	order := make([]int, 0, len(resps))
+	for i := range resps {
+		if resps[i].ok {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return resps[order[a]].rep.Node.ID < resps[order[b]].rep.Node.ID
+	})
+	for _, i := range order {
+		merged.MergeFrom(resps[i].row)
+	}
+}
+
 // blockingRepair fetches full rows from every contacted replica, merges
 // them, writes the reconciled row back to stale replicas, and returns the
 // merged row. The caller waits: this is Cassandra's foreground repair that
@@ -453,16 +515,17 @@ func (db *DB) blockingRepair(p *sim.Proc, coord *Replica, key kv.Key, reps []*Re
 		db.fetchRow(coord, rep, key, false, futs[i])
 	}
 	merged := storage.NewRow()
-	if have != nil {
-		merged.MergeFrom(have)
-	}
 	resps := make([]readResponse, 0, len(futs))
 	for _, f := range futs {
-		r := f.Await(p)
-		if r.ok {
+		if r := f.Await(p); r.ok {
 			resps = append(resps, r)
-			merged.MergeFrom(r.row)
 		}
+	}
+	reconcile(merged, resps)
+	// The original data read from the main replica is folded last: it can
+	// only matter when the main replica's refetch was lost in flight.
+	if have != nil {
+		merged.MergeFrom(have)
 	}
 	db.writeRepairs(p, coord, key, merged, resps, true)
 	if !merged.Live() && merged.Version() == 0 {
@@ -491,16 +554,14 @@ func (db *DB) repairRest(p *sim.Proc, coord *Replica, key kv.Key, rest []*Replic
 	for _, r := range known {
 		if r.ok {
 			resps = append(resps, r)
-			merged.MergeFrom(r.row)
 		}
 	}
 	for _, f := range futs {
-		r := f.Await(p)
-		if r.ok {
+		if r := f.Await(p); r.ok {
 			resps = append(resps, r)
-			merged.MergeFrom(r.row)
 		}
 	}
+	reconcile(merged, resps)
 	db.writeRepairs(p, coord, key, merged, resps, false)
 }
 
@@ -534,9 +595,9 @@ func (db *DB) writeRepairs(p *sim.Proc, coord *Replica, key kv.Key, merged *stor
 				}
 			}
 			if rec == nil {
-				rep.applyLocal(q2, db, key, nil, true, merged.Tomb)
+				rep.applyLocal(q2, db, key, nil, true, merged.Tomb, consistency.ApplyRepair)
 			} else {
-				rep.applyLocal(q2, db, key, rec, false, target)
+				rep.applyLocal(q2, db, key, rec, false, target, consistency.ApplyRepair)
 			}
 			if rep != coord {
 				rep.Node.SendTo(q2, coord.Node, db.cfg.RequestOverhead)
@@ -686,7 +747,7 @@ func (db *DB) hintReplayLoop(p *sim.Proc) {
 					keep = append(keep, h)
 					continue
 				}
-				h.target.applyLocal(p, db, h.key, h.rec, h.del, h.ver)
+				h.target.applyLocal(p, db, h.key, h.rec, h.del, h.ver, consistency.ApplyHint)
 				h.target.Node.SendTo(p, rep.Node, db.cfg.RequestOverhead)
 				db.HintsReplayed++
 			}

@@ -17,12 +17,17 @@ type Client struct {
 	readCL  kv.ConsistencyLevel
 	writeCL kv.ConsistencyLevel
 	next    int
+	oid     int // oracle client identity for monotonic-read tracking
 }
 
 // NewClient returns a client issuing requests from node at the database's
 // default consistency levels.
 func (db *DB) NewClient(node *cluster.Node) *Client {
-	return &Client{db: db, node: node, readCL: db.cfg.ReadCL, writeCL: db.cfg.WriteCL}
+	return &Client{
+		db: db, node: node,
+		readCL: db.cfg.ReadCL, writeCL: db.cfg.WriteCL,
+		oid: db.oracle.RegisterClient(),
+	}
 }
 
 // WithConsistency returns a copy of the client using the given read and
@@ -70,6 +75,7 @@ func (c *Client) Read(p *sim.Proc, key kv.Key, fields []string) (kv.Record, erro
 		return nil, err
 	}
 	c.db.Reads++
+	start := p.Now()
 	reqSize := len(key) + c.db.cfg.RequestOverhead
 	if !c.node.SendTo(p, coord.Node, reqSize) {
 		return nil, kv.ErrUnavailable
@@ -78,6 +84,16 @@ func (c *Client) Read(p *sim.Proc, key kv.Key, fields []string) (kv.Record, erro
 	row, err := c.db.read(p, coord, key, c.readCL)
 	if err != nil {
 		return nil, err
+	}
+	if c.db.oracle != nil {
+		// The observed version is the reconciled row the coordinator is
+		// about to return (a tombstone's version for deleted rows, 0 for
+		// never-written keys) — exactly what this client sees.
+		var ver kv.Version
+		if row != nil {
+			ver = row.Version()
+		}
+		c.db.oracle.ReadObserved(c.oid, key, ver, start)
 	}
 	var rec kv.Record
 	if row != nil && row.Live() {

@@ -1,0 +1,358 @@
+// Package consistency implements a client-centric consistency measurement
+// subsystem: an omniscient staleness oracle for the simulated databases.
+//
+// The paper explains its latency results (Fig. 1 read growth, Fig. 3
+// consistency spreads) by claiming stale replicas and read-repair storms,
+// but — like the original — it only ever measures latency and throughput.
+// Because the cluster here is a deterministic simulation, we can do what
+// real-world YCSB cannot: subscribe to every write's full lifecycle
+// (coordinator accept, per-replica apply, read-repair propagation, hinted
+// handoff replay) and to every read observation, and compute the
+// client-centric metrics of Rahman et al. (arXiv:1211.4290) and PBS-style
+// visibility directly:
+//
+//   - stale-read fraction: a read is stale when it fails to return the
+//     newest write acknowledged to a client before the read began,
+//   - version lag (k-staleness): how many acknowledged writes the
+//     returned version is behind,
+//   - t-visibility: the time from a write's coordinator accept until a
+//     quorum of replicas / every replica has applied it, and
+//   - monotonic-read violations: a client observing an older version of a
+//     key than one it already observed.
+//
+// The oracle is ground truth, not a participant: hooks are plain method
+// calls gated on a nil check at every call site, so a database running
+// without an oracle (the default, used by the paper's Fig. 1–3
+// experiments) pays no allocations and no measurable cost.
+package consistency
+
+import (
+	"time"
+
+	"cloudbench/internal/kv"
+	"cloudbench/internal/sim"
+	"cloudbench/internal/stats"
+)
+
+// ApplySource distinguishes how a version reached a replica.
+type ApplySource int
+
+// Apply sources, in write-lifecycle order.
+const (
+	// ApplyWrite is the coordinator's initial fan-out (or the region
+	// server's own apply, for HBase).
+	ApplyWrite ApplySource = iota
+	// ApplyRepair is a blocking or background read-repair write.
+	ApplyRepair
+	// ApplyHint is a hinted-handoff replay after a replica recovered.
+	ApplyHint
+	applySources
+)
+
+// maxWritesPerKey bounds the per-key write history. When a hot key
+// exceeds it, the oldest quarter is dropped; version-lag counts only look
+// at writes newer than the returned version, so pruning fully-visible old
+// writes cannot change any metric in practice.
+const maxWritesPerKey = 256
+
+// write is one tracked write of one key.
+type write struct {
+	ver      kv.Version
+	begin    sim.Time // coordinator accept (version assignment)
+	ack      sim.Time // coordinator acknowledged success to the client
+	acked    bool
+	measured bool // begun inside the measurement window
+	replicas int  // replica-set size at issue time
+	applied  map[int]sim.Time
+	qDone    bool
+	aDone    bool
+}
+
+// keyState is the tracked history of one key, writes in ascending version
+// order (coordinators issue versions monotonically).
+type keyState struct {
+	writes []*write
+}
+
+// find returns the tracked write with exactly version ver, or nil.
+// It scans from the newest entry: lifecycle events almost always concern
+// the most recent writes.
+func (ks *keyState) find(ver kv.Version) *write {
+	for i := len(ks.writes) - 1; i >= 0; i-- {
+		w := ks.writes[i]
+		if w.ver == ver {
+			return w
+		}
+		if w.ver < ver {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Oracle is the omniscient observer. It is not safe for concurrent use
+// from host goroutines; like everything else it lives inside one
+// single-threaded simulation.
+//
+// All hook methods are nil-safe no-ops, but call sites on database hot
+// paths should still gate on a nil check so argument evaluation (e.g.
+// computing a row's version) is skipped too.
+type Oracle struct {
+	measuring    bool
+	measureStart sim.Time
+
+	keys     map[kv.Key]*keyState
+	lastSeen []map[kv.Key]kv.Version // per registered client
+
+	reads, stale    int64
+	lagSum, lagMax  int64
+	monotonic       int64
+	writesBegun     int64
+	writesAcked     int64
+	applies         [applySources]int64
+	prunedWrites    int64
+	tvisQ, tvisA    *stats.Histogram
+	visibleMeasured int64 // measured writes that reached every replica
+}
+
+// New returns an empty oracle. Metrics only accumulate after
+// BeginMeasure; writes and read observations before it still feed the
+// ground-truth state (warmup writes are real writes).
+func New() *Oracle {
+	return &Oracle{
+		keys:  make(map[kv.Key]*keyState),
+		tvisQ: &stats.Histogram{},
+		tvisA: &stats.Histogram{},
+	}
+}
+
+// RegisterClient allocates a client identity for per-client monotonic-read
+// tracking. On a nil oracle it returns -1, which every hook ignores.
+func (o *Oracle) RegisterClient() int {
+	if o == nil {
+		return -1
+	}
+	o.lastSeen = append(o.lastSeen, make(map[kv.Key]kv.Version))
+	return len(o.lastSeen) - 1
+}
+
+// BeginMeasure marks the start of the measurement window (the workload
+// runner calls it when warmup ends). Only reads starting and writes begun
+// at or after t count toward the report; earlier events still update the
+// oracle's ground truth. The first call wins.
+func (o *Oracle) BeginMeasure(t sim.Time) {
+	if o == nil || o.measuring {
+		return
+	}
+	o.measuring = true
+	o.measureStart = t
+}
+
+// WriteBegin records that a coordinator accepted a write of key at
+// version ver, destined for a replica set of the given size, at time t.
+func (o *Oracle) WriteBegin(key kv.Key, ver kv.Version, replicas int, t sim.Time) {
+	if o == nil {
+		return
+	}
+	ks := o.keys[key]
+	if ks == nil {
+		ks = &keyState{}
+		o.keys[key] = ks
+	}
+	if n := len(ks.writes); n >= maxWritesPerKey {
+		drop := n / 4
+		o.prunedWrites += int64(drop)
+		ks.writes = append(ks.writes[:0], ks.writes[drop:]...)
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	ks.writes = append(ks.writes, &write{
+		ver:      ver,
+		begin:    t,
+		replicas: replicas,
+		applied:  make(map[int]sim.Time, replicas),
+		measured: o.measuring && t >= o.measureStart,
+	})
+	o.writesBegun++
+}
+
+// WriteAck records that the coordinator acknowledged the write of key at
+// version ver to its client at time t. Unacknowledged writes (timeouts,
+// unavailability) never become staleness ground truth: the client was not
+// promised them.
+func (o *Oracle) WriteAck(key kv.Key, ver kv.Version, t sim.Time) {
+	if o == nil {
+		return
+	}
+	ks := o.keys[key]
+	if ks == nil {
+		return
+	}
+	if w := ks.find(ver); w != nil && !w.acked {
+		w.acked = true
+		w.ack = t
+		o.writesAcked++
+	}
+}
+
+// ReplicaApply records that the replica with the given node id applied
+// version ver of key at time t, via src. The first apply per replica
+// advances the write's visibility; repeats (repair re-writes) only bump
+// the per-source counters.
+func (o *Oracle) ReplicaApply(key kv.Key, ver kv.Version, replica int, src ApplySource, t sim.Time) {
+	if o == nil {
+		return
+	}
+	if src >= 0 && src < applySources {
+		o.applies[src]++
+	}
+	ks := o.keys[key]
+	if ks == nil {
+		return
+	}
+	w := ks.find(ver)
+	if w == nil {
+		return
+	}
+	if _, seen := w.applied[replica]; seen {
+		return
+	}
+	w.applied[replica] = t
+	n := len(w.applied)
+	if !w.qDone && n >= w.replicas/2+1 {
+		w.qDone = true
+		if w.measured {
+			o.tvisQ.Record(t.Sub(w.begin))
+		}
+	}
+	if !w.aDone && n >= w.replicas {
+		w.aDone = true
+		if w.measured {
+			o.tvisA.Record(t.Sub(w.begin))
+			o.visibleMeasured++
+		}
+	}
+}
+
+// ReadObserved records that the registered client observed version ver of
+// key (0 = key not found) from a read that started at time start. The
+// database reports the version of the row it actually returned, after any
+// reconciliation, so this is exactly what the client saw.
+func (o *Oracle) ReadObserved(client int, key kv.Key, ver kv.Version, start sim.Time) {
+	if o == nil {
+		return
+	}
+	var lag int64
+	if ks := o.keys[key]; ks != nil {
+		// Writes newer than the returned version form a suffix of the
+		// ascending history; count those acknowledged before the read
+		// began. In steady state the suffix is a handful of entries.
+		for i := len(ks.writes) - 1; i >= 0; i-- {
+			w := ks.writes[i]
+			if w.ver <= ver {
+				break
+			}
+			if w.acked && w.ack <= start {
+				lag++
+			}
+		}
+	}
+	counted := o.measuring && start >= o.measureStart
+	if counted {
+		o.reads++
+		if lag > 0 {
+			o.stale++
+			o.lagSum += lag
+			if lag > o.lagMax {
+				o.lagMax = lag
+			}
+		}
+	}
+	if client >= 0 && client < len(o.lastSeen) {
+		m := o.lastSeen[client]
+		if prev, ok := m[key]; ok && ver < prev {
+			if counted {
+				o.monotonic++
+			}
+		}
+		if ver > m[key] {
+			m[key] = ver
+		}
+	}
+}
+
+// Report is a snapshot of the oracle's metrics over the measurement
+// window.
+type Report struct {
+	// Reads and StaleReads cover read observations inside the window; a
+	// read is stale when at least one write of its key was acknowledged
+	// before the read began yet is newer than the returned version.
+	Reads, StaleReads int64
+	// MeanLag and MaxLag are the version lag (k-staleness) over stale
+	// reads: how many acknowledged writes the returned version trailed.
+	MeanLag float64
+	MaxLag  int64
+	// MonotonicViolations counts window reads that observed an older
+	// version of a key than the same client had already observed.
+	MonotonicViolations int64
+
+	// Write lifecycle totals (whole run, including warmup).
+	WritesBegun, WritesAcked int64
+	// WriteApplies / RepairApplies / HintApplies count replica apply
+	// events by source: initial fan-out, read repair, hint replay.
+	WriteApplies, RepairApplies, HintApplies int64
+
+	// T-visibility (PBS-style) over writes begun inside the window:
+	// time from coordinator accept until a quorum of replicas (Q) or all
+	// replicas (All) applied the write.
+	TVisQuorumP50, TVisQuorumP99 time.Duration
+	TVisAllP50, TVisAllP99       time.Duration
+	// FullyVisible counts window writes that reached every replica.
+	FullyVisible int64
+
+	// PrunedWrites counts per-key history entries dropped by the history
+	// cap (diagnostic; nonzero values mean extremely hot keys).
+	PrunedWrites int64
+}
+
+// StaleFraction returns StaleReads/Reads, or 0 with no reads.
+func (r Report) StaleFraction() float64 {
+	if r.Reads == 0 {
+		return 0
+	}
+	return float64(r.StaleReads) / float64(r.Reads)
+}
+
+// Report snapshots the current metrics. On a nil oracle it returns the
+// zero report.
+func (o *Oracle) Report() Report {
+	if o == nil {
+		return Report{}
+	}
+	r := Report{
+		Reads:               o.reads,
+		StaleReads:          o.stale,
+		MaxLag:              o.lagMax,
+		MonotonicViolations: o.monotonic,
+		WritesBegun:         o.writesBegun,
+		WritesAcked:         o.writesAcked,
+		WriteApplies:        o.applies[ApplyWrite],
+		RepairApplies:       o.applies[ApplyRepair],
+		HintApplies:         o.applies[ApplyHint],
+		FullyVisible:        o.visibleMeasured,
+		PrunedWrites:        o.prunedWrites,
+	}
+	if o.stale > 0 {
+		r.MeanLag = float64(o.lagSum) / float64(o.stale)
+	}
+	if o.tvisQ.Count() > 0 {
+		r.TVisQuorumP50 = o.tvisQ.Percentile(50)
+		r.TVisQuorumP99 = o.tvisQ.Percentile(99)
+	}
+	if o.tvisA.Count() > 0 {
+		r.TVisAllP50 = o.tvisA.Percentile(50)
+		r.TVisAllP99 = o.tvisA.Percentile(99)
+	}
+	return r
+}

@@ -89,6 +89,7 @@ func deployCassandra(o Options, rf int, readCL, writeCL kv.ConsistencyLevel) *de
 	cfg.ReadCL = readCL
 	cfg.WriteCL = writeCL
 	cfg.ReadRepairChance = o.ReadRepairChance
+	cfg.MutationStageMeanDelay = o.MutationStageDelay
 	db := cassandra.New(k, cfg, servers)
 
 	d := &deployment{

@@ -84,6 +84,14 @@ type Options struct {
 	ReadRepairChance float64 // Cassandra read_repair_chance (A1: set 0)
 	MemReplication   bool    // HBase in-memory replication (A2: set false)
 	RegionsPerServer int
+
+	// MutationStageDelay is Cassandra's per-mutation replica-stage
+	// scheduling jitter (cassandra.Config.MutationStageMeanDelay). The
+	// performance experiments leave it zero — the fan-out then delivers
+	// strictly FIFO and CL=ONE reads can never overtake a pending apply —
+	// and the consistency audit sets it, because that per-message
+	// reordering is the real-world CL=ONE visibility window it measures.
+	MutationStageDelay time.Duration
 }
 
 // QuickOptions returns a scale suitable for tests and `go test -bench`:
@@ -141,6 +149,24 @@ func QuickOptions() Options {
 		MemReplication:   true,
 		RegionsPerServer: 4,
 	}
+}
+
+// SmokeOptions returns a minimal scale for CI smoke runs and -short tests:
+// every subsystem is still exercised (replication, repair, GC pauses, the
+// audit fault cell) but each sweep cell finishes in well under a second of
+// wall clock. Shapes at this scale are noisy; it exists to prove the
+// machinery end to end, not to reproduce the paper's curves.
+func SmokeOptions() Options {
+	o := QuickOptions()
+	o.MicroRecords = 2_000
+	o.MicroOps = 2_000
+	o.StressRecords = 800
+	o.StressOps = 2_500
+	o.Threads = 48
+	o.MicroThreads = 24
+	o.ReplicationFactors = []int{1, 3}
+	o.Fig3TargetFractions = []float64{0.5, 1.0}
+	return o
 }
 
 // PaperOptions returns a larger scale closer to the paper's stress shape;

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"cloudbench/internal/cluster"
+	"cloudbench/internal/consistency"
 	"cloudbench/internal/hdfs"
 	"cloudbench/internal/kv"
 	"cloudbench/internal/sim"
@@ -71,11 +72,22 @@ type DB struct {
 	regions []*Region // sorted by StartKey
 
 	nextVersion kv.Version
+	oracle      *consistency.Oracle
 
 	// Metrics.
 	Reads, Writes, ScansDone int64
 	ReplicationSends         int64
 }
+
+// SetOracle attaches a consistency oracle. HBase is the strong-consistency
+// control of the audit experiment: every key has exactly one serving
+// region, so the oracle should report zero stale reads and zero monotonic
+// violations. Hook call sites are nil-gated, so the default unobserved
+// runs pay nothing.
+func (db *DB) SetOracle(o *consistency.Oracle) { db.oracle = o }
+
+// Oracle returns the attached consistency oracle, if any.
+func (db *DB) Oracle() *consistency.Oracle { return db.oracle }
 
 // RegionServer hosts a set of regions on one node.
 type RegionServer struct {
@@ -204,6 +216,13 @@ func (rs *RegionServer) write(p *sim.Proc, r *Region, key kv.Key, rec kv.Record,
 	cpu := db.cluster.Config.CPUOpCost
 	rs.Node.Exec(p, cpu)
 	ver := db.version()
+	if db.oracle != nil {
+		// One read-serving replica per key: the owning region. Peer
+		// memstores (or peer WALs on the ablation path) are durability
+		// copies that never serve reads, so they are not visibility
+		// events.
+		db.oracle.WriteBegin(key, ver, 1, p.Now())
+	}
 
 	if db.cfg.MemReplication {
 		// Paper path: WAL locally, replicate the edit to peer memstores
@@ -235,7 +254,13 @@ func (rs *RegionServer) write(p *sim.Proc, r *Region, key kv.Key, rec kv.Record,
 		} else {
 			r.engine.Apply(p, key, rec, ver)
 		}
+		if db.oracle != nil {
+			db.oracle.ReplicaApply(key, ver, rs.Node.ID, consistency.ApplyWrite, p.Now())
+		}
 		q.Wait(p)
+		if db.oracle != nil {
+			db.oracle.WriteAck(key, ver, p.Now())
+		}
 		return
 	}
 
@@ -266,7 +291,13 @@ func (rs *RegionServer) write(p *sim.Proc, r *Region, key kv.Key, rec kv.Record,
 	} else {
 		r.engine.Apply(p, key, rec, ver)
 	}
+	if db.oracle != nil {
+		db.oracle.ReplicaApply(key, ver, rs.Node.ID, consistency.ApplyWrite, p.Now())
+	}
 	q.Wait(p)
+	if db.oracle != nil {
+		db.oracle.WriteAck(key, ver, p.Now())
+	}
 }
 
 // Client is an HBase client bound to a client machine. It caches region
@@ -275,11 +306,12 @@ type Client struct {
 	db   *DB
 	node *cluster.Node
 	meta map[*Region]bool // regions already located
+	oid  int              // oracle client identity
 }
 
 // NewClient returns a client issuing requests from node.
 func (db *DB) NewClient(node *cluster.Node) *Client {
-	return &Client{db: db, node: node, meta: make(map[*Region]bool)}
+	return &Client{db: db, node: node, meta: make(map[*Region]bool), oid: db.oracle.RegisterClient()}
 }
 
 var _ kv.Client = (*Client)(nil)
@@ -310,13 +342,22 @@ func (c *Client) Read(p *sim.Proc, key kv.Key, fields []string) (kv.Record, erro
 		return nil, err
 	}
 	c.db.Reads++
+	start := p.Now()
 	if !c.node.SendTo(p, r.Server.Node, len(key)+c.db.cfg.RequestOverhead) {
 		return nil, kv.ErrUnavailable
 	}
 	r.Server.Node.Exec(p, c.db.cluster.Config.CPUOpCost)
 	var rec kv.Record
-	if row := r.engine.Get(p, key); row != nil && row.Live() {
+	row := r.engine.Get(p, key)
+	if row != nil && row.Live() {
 		rec = row.Record().Project(fields)
+	}
+	if c.db.oracle != nil {
+		var ver kv.Version
+		if row != nil {
+			ver = row.Version()
+		}
+		c.db.oracle.ReadObserved(c.oid, key, ver, start)
 	}
 	if !r.Server.Node.SendTo(p, c.node, rec.Bytes()+c.db.cfg.RequestOverhead) {
 		return nil, kv.ErrUnavailable

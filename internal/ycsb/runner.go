@@ -3,6 +3,7 @@ package ycsb
 import (
 	"time"
 
+	"cloudbench/internal/consistency"
 	"cloudbench/internal/kv"
 	"cloudbench/internal/sim"
 	"cloudbench/internal/stats"
@@ -21,6 +22,24 @@ type RunConfig struct {
 	// WarmupFraction of Ops is executed before measurement starts, to
 	// absorb the cold-start effects §6 complains about.
 	WarmupFraction float64
+	// Oracle, when non-nil, is the consistency oracle already attached to
+	// the database under test. The runner aligns the oracle's measurement
+	// window with its own (BeginMeasure when warmup ends) and snapshots
+	// the report into Result.Consistency.
+	Oracle *consistency.Oracle
+	// Events fire mid-run by operation progress: each Fn runs exactly
+	// once, in simulation context, when the completed-operation count
+	// reaches AfterOps. Entries must be in ascending AfterOps order.
+	// Scheduling faults by progress rather than wall time keeps them
+	// inside the run phase at every profile scale, since closed-loop run
+	// duration varies with throughput.
+	Events []RunEvent
+}
+
+// RunEvent is one progress-triggered callback; see RunConfig.Events.
+type RunEvent struct {
+	AfterOps int64
+	Fn       func()
 }
 
 // Result is the outcome of a run phase.
@@ -47,6 +66,9 @@ type Result struct {
 	// NotFound counts reads of keys that were not visible — stale reads
 	// under weak consistency land here when the key is brand new.
 	NotFound int64
+	// Consistency is the oracle's report over the measurement window,
+	// when RunConfig.Oracle was set.
+	Consistency *consistency.Report
 }
 
 // Summary returns the overall latency summary.
@@ -119,12 +141,14 @@ func Run(driver *sim.Proc, newClient ClientFactory, w *Workload, cfg RunConfig) 
 	start := k.Now()
 	if measuring {
 		measureStart = start
+		cfg.Oracle.BeginMeasure(start)
 	}
 
 	var interval time.Duration
 	if cfg.TargetThroughput > 0 {
 		interval = time.Duration(float64(cfg.Threads) / cfg.TargetThroughput * float64(time.Second))
 	}
+	nextEvent := 0
 
 	procs := make([]*sim.Proc, 0, cfg.Threads)
 	for t := 0; t < cfg.Threads; t++ {
@@ -160,9 +184,14 @@ func Run(driver *sim.Proc, newClient ClientFactory, w *Workload, cfg RunConfig) 
 				w.Ack(op)
 				lat := end.Sub(opStart)
 				completed++
+				for nextEvent < len(cfg.Events) && completed >= cfg.Events[nextEvent].AfterOps {
+					cfg.Events[nextEvent].Fn()
+					nextEvent++
+				}
 				if !measuring && completed >= warmupOps {
 					measuring = true
 					measureStart = p.Now()
+					cfg.Oracle.BeginMeasure(measureStart)
 				} else if measuring {
 					res.MeasuredOps++
 					res.Overall.Record(lat)
@@ -183,6 +212,10 @@ func Run(driver *sim.Proc, newClient ClientFactory, w *Workload, cfg RunConfig) 
 	res.Elapsed = k.Now().Sub(measureStart)
 	if res.Elapsed > 0 {
 		res.Throughput = float64(res.MeasuredOps) / res.Elapsed.Seconds()
+	}
+	if cfg.Oracle != nil {
+		rep := cfg.Oracle.Report()
+		res.Consistency = &rep
 	}
 	return res
 }
