@@ -1,0 +1,31 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; staticcheck and govulncheck additionally run there with
+# pinned versions and are invoked here only if already on PATH.
+
+GO ?= go
+
+.PHONY: all build test race bench lint vet
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+# -short runs every mechanism end to end at smoke scale.
+test:
+	$(GO) test -short -timeout 10m ./...
+
+race:
+	$(GO) test -race -short -timeout 30m ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' -short -timeout 15m ./...
+
+vet:
+	$(GO) vet ./...
+
+# simlint enforces the determinism, hot-path, and hook invariants
+# (DESIGN.md "Static invariants"). Zero non-suppressed findings required.
+lint: vet
+	$(GO) run ./cmd/simlint ./...
+	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... || echo "staticcheck not installed; CI runs it pinned"

@@ -256,6 +256,60 @@ func BenchmarkOracleHooks(b *testing.B) {
 	}
 }
 
+// TestDetachedOracleHooksZeroAlloc pins down the invariant the hookguard
+// analyzer and the nil-gated call sites exist for: with the oracle
+// detached (nil, as in every performance experiment), the full
+// write/read hook sequence behind its `!= nil` guard must not allocate
+// and must not evaluate its arguments' allocating subexpressions.
+func TestDetachedOracleHooksZeroAlloc(t *testing.T) {
+	var oracle *consistency.Oracle // detached
+	key := kv.Key("user42")
+	ver := kv.Version(7)
+	allocs := testing.AllocsPerRun(1000, func() {
+		// The exact call-site shape the databases use (and hookguard
+		// enforces): gate once, then fire the lifecycle hooks.
+		if oracle != nil {
+			at := sim.Time(1)
+			oracle.WriteBegin(key, ver, 3, at)
+			oracle.ReplicaApply(key, ver, 0, consistency.ApplyWrite, at)
+			oracle.WriteAck(key, ver, at)
+			oracle.ReadObserved(-1, key, ver, at)
+			oracle.BeginMeasure(at)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("detached-oracle hook path allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAttachedOracleRegisterDetach exercises attach → observe → detach:
+// an attached oracle sees the traffic, and re-detaching restores the
+// zero-cost path.
+func TestAttachedOracleRegisterDetach(t *testing.T) {
+	oracle := consistency.New()
+	cid := oracle.RegisterClient()
+	key := kv.Key("user1")
+	at := sim.Time(1)
+	oracle.BeginMeasure(0)
+	oracle.WriteBegin(key, 1, 1, at)
+	oracle.ReplicaApply(key, 1, 0, consistency.ApplyWrite, at)
+	oracle.WriteAck(key, 1, at)
+	oracle.ReadObserved(cid, key, 1, at+1)
+	rep := oracle.Report()
+	if rep.Reads == 0 {
+		t.Fatalf("attached oracle recorded no reads: %+v", rep)
+	}
+	oracle = nil // detach
+	allocs := testing.AllocsPerRun(100, func() {
+		if oracle != nil {
+			oracle.ReadObserved(cid, key, 1, at)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("post-detach hook path allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
 // BenchmarkSweepParallel measures the wall-clock of the same Fig. 2 sweep
 // executed sequentially (workers-1) and fanned out across the sweep
 // scheduler (workers-4). The results are bit-identical either way (see

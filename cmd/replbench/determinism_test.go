@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// capture runs the CLI and returns its report with the trailing
+// wall-clock "done in ..." line stripped — the only line allowed to
+// differ between runs.
+func capture(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("replbench %v: %v", args, err)
+	}
+	out := buf.String()
+	i := strings.LastIndex(out, "done in ")
+	if i < 0 {
+		t.Fatalf("replbench %v: missing trailer in output:\n%s", args, out)
+	}
+	return out[:i]
+}
+
+// TestSweepBitIdentical is the determinism regression test: a same-seed
+// sweep must produce byte-identical CSV whatever the worker-pool size.
+// This is the invariant the detwalk and seedflow analyzers exist to
+// protect — any wall-clock read, global rand call, or map-order leak in
+// a sim-reachable package eventually shows up here as a diff.
+func TestSweepBitIdentical(t *testing.T) {
+	for _, experiment := range []string{"fig1", "audit"} {
+		t.Run(experiment, func(t *testing.T) {
+			base := []string{"-experiment", experiment, "-profile", "smoke", "-csv", "-seed", "42"}
+			serial := capture(t, append(base, "-parallel", "1")...)
+			wide := capture(t, append(base, "-parallel", "8")...)
+			if serial != wide {
+				t.Errorf("-parallel 1 and -parallel 8 reports differ:\n%s", firstDiff(serial, wide))
+			}
+			repeat := capture(t, append(base, "-parallel", "8")...)
+			if wide != repeat {
+				t.Errorf("two -parallel 8 runs with the same seed differ:\n%s", firstDiff(wide, repeat))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first differing line of two reports.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  a: %s\n  b: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}

@@ -1,0 +1,66 @@
+// Command simlint statically enforces the simulator's determinism,
+// hot-path, and hook invariants over this repository:
+//
+//	go run ./cmd/simlint ./...
+//
+// It exits non-zero if any analyzer reports a non-suppressed diagnostic.
+// Genuine exceptions are annotated in place:
+//
+//	//simlint:ignore <analyzer> <reason>
+//
+// Run with -list to see the analyzers and what each enforces. The suite is
+// built on an API mirroring golang.org/x/tools/go/analysis (see
+// internal/lint); when that dependency is available the analyzers can be
+// rehosted verbatim and driven by `go vet -vettool`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cloudbench/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	prog, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "simlint:", err)
+		return 2
+	}
+	diags, err := lint.Analyze(prog, lint.All(), lint.AnalyzeOptions{})
+	if err != nil {
+		fmt.Fprintln(stderr, "simlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "simlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

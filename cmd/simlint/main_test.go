@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRepoLintsClean is the tier-1 gate for the static invariants: the
+// whole module must produce zero non-suppressed diagnostics. A failure
+// here means either a genuine invariant violation or a new finding that
+// needs an in-place //simlint:ignore with a reason.
+func TestRepoLintsClean(t *testing.T) {
+	if testing.Short() {
+		// Loading and type-checking the full dependency closure takes a
+		// few seconds; the golden tests in internal/lint cover -short.
+		t.Skip("full-module lint run skipped in -short mode")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"cloudbench/..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("simlint exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("expected no diagnostics, got:\n%s", stdout.String())
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("simlint -list exited %d: %s", code, stderr.String())
+	}
+	for _, name := range []string{"detwalk", "hookguard", "hotpath", "seedflow"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
+		}
+	}
+}

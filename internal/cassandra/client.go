@@ -23,10 +23,14 @@ type Client struct {
 // NewClient returns a client issuing requests from node at the database's
 // default consistency levels.
 func (db *DB) NewClient(node *cluster.Node) *Client {
+	oid := -1
+	if db.oracle != nil {
+		oid = db.oracle.RegisterClient()
+	}
 	return &Client{
 		db: db, node: node,
 		readCL: db.cfg.ReadCL, writeCL: db.cfg.WriteCL,
-		oid: db.oracle.RegisterClient(),
+		oid: oid,
 	}
 }
 

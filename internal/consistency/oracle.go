@@ -95,8 +95,12 @@ func (ks *keyState) find(ver kv.Version) *write {
 // single-threaded simulation.
 //
 // All hook methods are nil-safe no-ops, but call sites on database hot
-// paths should still gate on a nil check so argument evaluation (e.g.
-// computing a row's version) is skipped too.
+// paths must still gate on a nil check so argument evaluation (e.g.
+// computing a row's version) is skipped too. The //simlint:hook marker
+// below makes simlint's hookguard analyzer enforce that: a method call
+// through a *Oracle that is not dominated by a nil check fails the build.
+//
+//simlint:hook
 type Oracle struct {
 	measuring    bool
 	measureStart sim.Time

@@ -204,7 +204,9 @@ func runAuditCell(o Options, c auditCell) (AuditResult, error) {
 	// repairs and hint replay — so t-visibility and apply counts are
 	// complete; the read-side staleness counters are identical, since no
 	// client reads happen after the run.
-	out.Consistency = oracle.Report()
+	if oracle != nil {
+		out.Consistency = oracle.Report()
+	}
 	return out, err
 }
 

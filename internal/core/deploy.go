@@ -124,6 +124,8 @@ func (d *deployment) drive(fn func(p *sim.Proc)) error {
 // loadAndSettle loads the workload's base records and lets flushes settle.
 func (d *deployment) loadAndSettle(p *sim.Proc, w *ycsb.Workload, threads int) {
 	ycsb.Load(p, d.newClient, w, threads, 0, w.Spec.RecordCount)
-	d.flush()
+	if d.flush != nil {
+		d.flush()
+	}
 	p.Sleep(quiesce)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -130,16 +131,14 @@ func CheckFig2(r Fig2Results) []Finding {
 	for _, m := range r {
 		rfs[m.RF] = true
 	}
-	var minRF, maxRF int
-	first := true
+	rfList := make([]int, 0, len(rfs))
 	for rf := range rfs {
-		if first || rf < minRF {
-			minRF = rf
-		}
-		if first || rf > maxRF {
-			maxRF = rf
-		}
-		first = false
+		rfList = append(rfList, rf)
+	}
+	sort.Ints(rfList)
+	var minRF, maxRF int
+	if len(rfList) > 0 {
+		minRF, maxRF = rfList[0], rfList[len(rfList)-1]
 	}
 
 	// F5a: runtime throughput inversely related to latency (closed loop).

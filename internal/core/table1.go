@@ -49,14 +49,18 @@ func VerifyTable1() error {
 			ycsb.OpScan:            r.spec.ScanProportion,
 			ycsb.OpReadModifyWrite: r.spec.RMWProportion,
 		}
-		for op, want := range r.mix {
-			if got[op] != want {
+		// Iterate operations in declaration order, not map order: which
+		// mismatch gets reported (and the bits of the float sum) must not
+		// depend on map iteration.
+		ops := []ycsb.OpType{ycsb.OpRead, ycsb.OpUpdate, ycsb.OpInsert, ycsb.OpScan, ycsb.OpReadModifyWrite}
+		for _, op := range ops {
+			if want, checked := r.mix[op]; checked && got[op] != want {
 				return fmt.Errorf("table1 %s: %v proportion = %v, want %v", r.spec.Name, op, got[op], want)
 			}
 		}
 		var sum float64
-		for _, v := range got {
-			sum += v
+		for _, op := range ops {
+			sum += got[op]
 		}
 		if sum != 1 {
 			return fmt.Errorf("table1 %s: proportions sum to %v", r.spec.Name, sum)

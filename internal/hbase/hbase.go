@@ -311,7 +311,11 @@ type Client struct {
 
 // NewClient returns a client issuing requests from node.
 func (db *DB) NewClient(node *cluster.Node) *Client {
-	return &Client{db: db, node: node, meta: make(map[*Region]bool), oid: db.oracle.RegisterClient()}
+	oid := -1
+	if db.oracle != nil {
+		oid = db.oracle.RegisterClient()
+	}
+	return &Client{db: db, node: node, meta: make(map[*Region]bool), oid: oid}
 }
 
 var _ kv.Client = (*Client)(nil)

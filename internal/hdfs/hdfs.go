@@ -14,6 +14,7 @@ package hdfs
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"cloudbench/internal/cluster"
@@ -256,10 +257,18 @@ func (fs *FS) readFromReplica(p *sim.Proc, b *Block, bytes int, reader *cluster.
 }
 
 // UnderReplicated returns blocks that currently have fewer than the target
-// number of live replicas — input for re-replication.
+// number of live replicas — input for re-replication. Files are scanned in
+// sorted name order so the re-replication schedule (and therefore the whole
+// event sequence) is independent of map iteration order.
 func (fs *FS) UnderReplicated() []*Block {
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var out []*Block
-	for _, f := range fs.files {
+	for _, name := range names {
+		f := fs.files[name]
 		for _, b := range f.Blocks {
 			live := 0
 			for _, dn := range b.Replicas {

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directiveKind enumerates the //simlint: comment directives.
+type directiveKind int
+
+const (
+	// dirIgnore suppresses one analyzer's diagnostics on the directive's
+	// line (trailing comment) or the line below (standalone comment):
+	// //simlint:ignore <analyzer> <reason>.
+	dirIgnore directiveKind = iota
+	// dirHotpath marks the function declaration it documents as an
+	// allocation-free hot path: //simlint:hotpath.
+	dirHotpath
+	// dirHook marks the type declaration it documents as a nullable hook
+	// whose method calls require a nil check: //simlint:hook.
+	dirHook
+	// dirMalformed is an unparseable //simlint: comment; the driver
+	// reports it so a typo cannot silently disable enforcement.
+	dirMalformed
+)
+
+// A directive is one parsed //simlint: comment.
+type directive struct {
+	kind     directiveKind
+	analyzer string // dirIgnore: which analyzer is suppressed
+	reason   string // dirIgnore: mandatory justification
+	problem  string // dirMalformed: what is wrong
+	pos      token.Position
+}
+
+// parseDirective parses one comment's text, returning ok=false for
+// comments that are not simlint directives at all.
+func parseDirective(c *ast.Comment, pos token.Position) (directive, bool) {
+	text, isDir := strings.CutPrefix(c.Text, "//simlint:")
+	if !isDir {
+		return directive{}, false
+	}
+	d := directive{pos: pos}
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		d.kind, d.problem = dirMalformed, "empty simlint directive"
+		return d, true
+	}
+	switch fields[0] {
+	case "hotpath":
+		d.kind = dirHotpath
+	case "hook":
+		d.kind = dirHook
+	case "ignore":
+		if len(fields) < 3 {
+			d.kind, d.problem = dirMalformed, "ignore needs an analyzer name and a reason: //simlint:ignore <analyzer> <reason>"
+			return d, true
+		}
+		d.kind = dirIgnore
+		d.analyzer = fields[1]
+		d.reason = strings.Join(fields[2:], " ")
+	default:
+		d.kind, d.problem = dirMalformed, "unknown simlint directive "+fields[0]
+	}
+	return d, true
+}
+
+// fileDirectives extracts every simlint directive in file, keyed by line.
+func fileDirectives(fset *token.FileSet, file *ast.File) []directive {
+	var out []directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if d, ok := parseDirective(c, fset.Position(c.Pos())); ok {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// hasFuncDirective reports whether fn's doc comment carries the directive
+// kind (how //simlint:hotpath is attached to a function).
+func hasFuncDirective(fn *ast.FuncDecl, kind directiveKind) bool {
+	return docHasDirective(fn.Doc, kind)
+}
+
+func docHasDirective(doc *ast.CommentGroup, kind directiveKind) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if d, ok := parseDirective(c, token.Position{}); ok && d.kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// hookTypesOf collects the qualified names of types declared with a
+// //simlint:hook directive (on the type spec or its enclosing GenDecl) in
+// pkg.
+func hookTypesOf(pkg *Package) []string {
+	var out []string
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			declMarked := docHasDirective(gd.Doc, dirHook)
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if declMarked || docHasDirective(ts.Doc, dirHook) || docHasDirective(ts.Comment, dirHook) {
+					out = append(out, pkg.ImportPath+"."+ts.Name.Name)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,360 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Hookguard enforces the hook-call invariant: any call through a nullable
+// hook — a struct field of function type (ycsb.RunEvent.Fn, metrics
+// sinks), or a method on a pointer to a type marked //simlint:hook (the
+// consistency oracle) — must be dominated by a nil check on that exact
+// expression. The oracle's methods happen to be nil-safe, but the nil gate
+// at the call site is what keeps a detached oracle at zero allocations and
+// zero argument evaluation on database hot paths; a forgotten guard is a
+// silent perf regression today and a panic the day the hook stops being
+// nil-safe.
+var Hookguard = &Analyzer{
+	Name:      "hookguard",
+	Doc:       "calls through nullable hook/callback fields must be dominated by a nil check",
+	AppliesTo: func(importPath string) bool { return strings.HasPrefix(importPath, "cloudbench") },
+	Run:       runHookguard,
+}
+
+func runHookguard(pass *Pass) error {
+	w := &hookWalker{pass: pass, hookVars: make(map[types.Object]bool)}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				w.stmts(fn.Body.List, guardSet{})
+			}
+		}
+	}
+	return nil
+}
+
+// guardSet holds canonical renderings (types.ExprString) of expressions
+// proven non-nil on the current path.
+type guardSet map[string]bool
+
+func (g guardSet) extend(names []string) guardSet {
+	if len(names) == 0 {
+		return g
+	}
+	out := make(guardSet, len(g)+len(names))
+	for k := range g {
+		out[k] = true
+	}
+	for _, n := range names {
+		out[n] = true
+	}
+	return out
+}
+
+type hookWalker struct {
+	pass *Pass
+	// hookVars are local variables bound from a nullable hook field
+	// (f := ev.Fn); calling them needs the same guard as the field.
+	hookVars map[types.Object]bool
+}
+
+// nullableHookExpr returns the expression that must be nil-checked before
+// the call, or nil when the call is not through a hook.
+func (w *hookWalker) nullableHookExpr(call *ast.CallExpr) ast.Expr {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		obj := w.pass.TypesInfo.ObjectOf(fun.Sel)
+		if v, ok := obj.(*types.Var); ok && v.IsField() {
+			if _, isFunc := v.Type().Underlying().(*types.Signature); isFunc {
+				return fun // ev.Fn(...)
+			}
+		}
+		if _, ok := obj.(*types.Func); ok && w.isHookPointer(fun.X) {
+			return fun.X // db.oracle.WriteBegin(...)
+		}
+	case *ast.Ident:
+		if w.hookVars[w.pass.TypesInfo.ObjectOf(fun)] {
+			return fun // f := ev.Fn; f(...)
+		}
+	}
+	return nil
+}
+
+// isHookPointer reports whether x's static type is a pointer to a type
+// marked //simlint:hook.
+func (w *hookWalker) isHookPointer(x ast.Expr) bool {
+	tv, ok := w.pass.TypesInfo.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	ptr, ok := tv.Type.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return w.pass.HookTypes[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+}
+
+func (w *hookWalker) checkCall(call *ast.CallExpr, g guardSet) {
+	if hook := w.nullableHookExpr(call); hook != nil {
+		name := types.ExprString(hook)
+		if !g[name] {
+			w.pass.Reportf(call.Pos(), "call through nullable hook %s is not dominated by a nil check (guard with `if %s != nil`)", name, name)
+		}
+	}
+}
+
+// stmts walks a statement list sequentially, threading guard facts (an
+// early-exit `if x == nil { return }` guards every later statement).
+func (w *hookWalker) stmts(list []ast.Stmt, g guardSet) {
+	for _, s := range list {
+		g = w.stmt(s, g)
+	}
+}
+
+// stmt walks one statement under guard set g and returns the guard set
+// holding for the statements after it.
+func (w *hookWalker) stmt(s ast.Stmt, g guardSet) guardSet {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X, g)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, g)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, g)
+		}
+		// Track f := ev.Fn aliases so the guard requirement follows the
+		// value into the local.
+		for i, lhs := range s.Lhs {
+			if i >= len(s.Rhs) {
+				break
+			}
+			sel, ok := ast.Unparen(s.Rhs[i]).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if v, ok := w.pass.TypesInfo.ObjectOf(sel.Sel).(*types.Var); ok && v.IsField() {
+				if _, isFunc := v.Type().Underlying().(*types.Signature); isFunc {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						if obj := w.pass.TypesInfo.ObjectOf(id); obj != nil {
+							w.hookVars[obj] = true
+						}
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			g = w.stmt(s.Init, g)
+		}
+		w.expr(s.Cond, g)
+		w.stmts(s.Body.List, g.extend(nilGuards(s.Cond, token.NEQ)))
+		if s.Else != nil {
+			w.stmt(s.Else, g.extend(nilGuards(s.Cond, token.EQL)))
+		}
+		// if x == nil { return } dominates everything after the if with
+		// x != nil (and symmetrically for the else branch).
+		var after []string
+		if terminates(s.Body.List) {
+			after = append(after, nilGuards(s.Cond, token.EQL)...)
+		}
+		if eb, ok := s.Else.(*ast.BlockStmt); ok && terminates(eb.List) {
+			after = append(after, nilGuards(s.Cond, token.NEQ)...)
+		}
+		return g.extend(after)
+	case *ast.BlockStmt:
+		w.stmts(s.List, g)
+	case *ast.ForStmt:
+		inner := g
+		if s.Init != nil {
+			inner = w.stmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, inner)
+			inner = inner.extend(nilGuards(s.Cond, token.NEQ))
+		}
+		w.stmts(s.Body.List, inner)
+		if s.Post != nil {
+			w.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X, g)
+		w.stmts(s.Body.List, g)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			g = w.stmt(s.Init, g)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, g)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			cg := g
+			for _, e := range cc.List {
+				w.expr(e, g)
+			}
+			// In a tagless switch, a single-expression case behaves like
+			// an if condition: `case x != nil:` guards its body.
+			if s.Tag == nil && len(cc.List) == 1 {
+				cg = g.extend(nilGuards(cc.List[0], token.NEQ))
+			}
+			w.stmts(cc.Body, cg)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			g = w.stmt(s.Init, g)
+		}
+		w.stmt(s.Assign, g)
+		for _, c := range s.Body.List {
+			w.stmts(c.(*ast.CaseClause).Body, g)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, g)
+			}
+			w.stmts(cc.Body, g)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, g)
+		}
+	case *ast.DeferStmt:
+		w.expr(s.Call, g)
+	case *ast.GoStmt:
+		w.expr(s.Call, g)
+	case *ast.SendStmt:
+		w.expr(s.Chan, g)
+		w.expr(s.Value, g)
+	case *ast.IncDecStmt:
+		w.expr(s.X, g)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, g)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, g)
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// expr walks an expression, checking hook calls and propagating
+// short-circuit guards (`ev.Fn != nil && ev.Fn()`).
+func (w *hookWalker) expr(e ast.Expr, g guardSet) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.BinaryExpr:
+		w.expr(e.X, g)
+		switch e.Op {
+		case token.LAND:
+			w.expr(e.Y, g.extend(nilGuards(e.X, token.NEQ)))
+		case token.LOR:
+			w.expr(e.Y, g.extend(nilGuards(e.X, token.EQL)))
+		default:
+			w.expr(e.Y, g)
+		}
+	case *ast.CallExpr:
+		w.checkCall(e, g)
+		w.expr(e.Fun, g)
+		for _, a := range e.Args {
+			w.expr(a, g)
+		}
+	case *ast.FuncLit:
+		// Closures are treated as running where they are written; the
+		// guards in scope at creation are assumed to still hold.
+		w.stmts(e.Body.List, g)
+	case *ast.ParenExpr:
+		w.expr(e.X, g)
+	case *ast.SelectorExpr:
+		w.expr(e.X, g)
+	case *ast.UnaryExpr:
+		w.expr(e.X, g)
+	case *ast.StarExpr:
+		w.expr(e.X, g)
+	case *ast.IndexExpr:
+		w.expr(e.X, g)
+		w.expr(e.Index, g)
+	case *ast.IndexListExpr:
+		w.expr(e.X, g)
+		for _, i := range e.Indices {
+			w.expr(i, g)
+		}
+	case *ast.SliceExpr:
+		w.expr(e.X, g)
+		w.expr(e.Low, g)
+		w.expr(e.High, g)
+		w.expr(e.Max, g)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, g)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, g)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Key, g)
+		w.expr(e.Value, g)
+	}
+}
+
+// nilGuards extracts the expressions a condition proves non-nil when it
+// evaluates to true (op == token.NEQ: conjuncts `x != nil`) or to false
+// (op == token.EQL: disjuncts `x == nil`).
+func nilGuards(cond ast.Expr, op token.Token) []string {
+	cond = ast.Unparen(cond)
+	if be, ok := cond.(*ast.BinaryExpr); ok {
+		split := token.LAND
+		if op == token.EQL {
+			split = token.LOR
+		}
+		if be.Op == split {
+			return append(nilGuards(be.X, op), nilGuards(be.Y, op)...)
+		}
+		if be.Op == op {
+			if isNilIdent(be.Y) {
+				return []string{types.ExprString(ast.Unparen(be.X))}
+			}
+			if isNilIdent(be.X) {
+				return []string{types.ExprString(ast.Unparen(be.Y))}
+			}
+		}
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether a block's last statement unconditionally
+// leaves the enclosing scope (return, break, continue, goto, or panic).
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

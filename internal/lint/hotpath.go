@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Hotpath enforces the allocation-free discipline on functions marked
+// //simlint:hotpath (the kernel event loop, free list, timers, and the
+// per-operation YCSB path). These paths run millions of times per sweep
+// cell; PR 1 took BenchmarkKernelSleep from 2560 allocs/op to 0, and this
+// analyzer is what keeps it there. Inside a marked function the analyzer
+// flags:
+//
+//   - defer (runtime bookkeeping per call),
+//   - function literals (closure allocation — reuse a stored closure like
+//     Proc.wake instead),
+//   - calls into fmt or log (formatting allocates; use static strings),
+//   - string concatenation (every + allocates),
+//   - interface boxing of non-pointer values (conversions and call
+//     arguments; pointers share the interface word and stay free).
+var Hotpath = &Analyzer{
+	Name:      "hotpath",
+	Doc:       "functions marked //simlint:hotpath may not defer, close over, format, concatenate strings, or box non-pointer values",
+	AppliesTo: func(importPath string) bool { return strings.HasPrefix(importPath, "cloudbench") },
+	Run:       runHotpath,
+}
+
+func runHotpath(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasFuncDirective(fn, dirHotpath) {
+				continue
+			}
+			checkHotpathBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotpathBody(pass *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in hot path %s: per-call runtime bookkeeping; restructure with explicit cleanup", name)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure allocated in hot path %s: hoist it to a struct field built once (see Proc.wake)", name)
+			return false // the literal's body runs elsewhere
+		case *ast.CallExpr:
+			checkHotpathCall(pass, n, name)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(pass, n.X) {
+				pass.Reportf(n.Pos(), "string concatenation in hot path %s allocates; use a static string or precomputed label", name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pass, n.Lhs[0]) {
+				pass.Reportf(n.Pos(), "string concatenation in hot path %s allocates; use a static string or precomputed label", name)
+			}
+		}
+		return true
+	})
+}
+
+func checkHotpathCall(pass *Pass, call *ast.CallExpr, name string) {
+	// Explicit conversion to an interface type boxes the operand.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && boxes(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion to interface in hot path %s boxes a non-pointer value (allocates)", name)
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			// panic is the only builtin that boxes, and a panicking hot
+			// path is already off the performance cliff.
+			return
+		}
+	}
+	obj := funcObj(pass.TypesInfo, call)
+	if obj != nil && obj.Pkg() != nil {
+		switch obj.Pkg().Path() {
+		case "fmt", "log":
+			pass.Reportf(call.Pos(), "%s.%s in hot path %s: formatting allocates; keep formatting on cold paths", obj.Pkg().Name(), obj.Name(), name)
+			return
+		}
+	}
+	// Passing a non-pointer concrete value to an interface parameter
+	// boxes it at the call site.
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) && boxes(pass, arg) {
+			pass.Reportf(arg.Pos(), "argument boxes a non-pointer value into an interface in hot path %s (allocates)", name)
+		}
+	}
+}
+
+func callSignature(pass *Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// boxes reports whether storing arg in an interface allocates: true for
+// concrete non-pointer-shaped values, false for values already in an
+// interface, pointers, channels, maps, funcs, and nil.
+func boxes(pass *Pass, arg ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(arg)]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		return tv.Type.Underlying().(*types.Basic).Kind() != types.UnsafePointer
+	}
+	return true
+}
+
+func isStringExpr(pass *Pass, x ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,46 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"cloudbench/internal/lint"
+	"cloudbench/internal/lint/linttest"
+)
+
+func golden(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestDetwalkGolden(t *testing.T)   { linttest.Run(t, lint.Detwalk, golden("detwalk")) }
+func TestHookguardGolden(t *testing.T) { linttest.Run(t, lint.Hookguard, golden("hookguard")) }
+func TestHotpathGolden(t *testing.T)   { linttest.Run(t, lint.Hotpath, golden("hotpath")) }
+func TestSeedflowGolden(t *testing.T)  { linttest.Run(t, lint.Seedflow, golden("seedflow")) }
+
+// TestMalformedDirective checks that an ignore directive without a reason
+// is itself reported rather than silently swallowing diagnostics.
+func TestMalformedDirective(t *testing.T) {
+	prog, err := lint.Load(golden("malformed"), ".")
+	if err != nil {
+		t.Fatalf("loading: %v", err)
+	}
+	diags, err := lint.Analyze(prog, lint.All(), lint.AnalyzeOptions{IgnoreScope: true})
+	if err != nil {
+		t.Fatalf("analyzing: %v", err)
+	}
+	var sawMalformed, sawSuppressedAnyway bool
+	for _, d := range diags {
+		if d.Analyzer == "simlint" {
+			sawMalformed = true
+		}
+		if d.Analyzer == "detwalk" {
+			sawSuppressedAnyway = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("reason-less //simlint:ignore not reported as malformed; got %v", diags)
+	}
+	if !sawSuppressedAnyway {
+		t.Errorf("malformed ignore suppressed the diagnostic it was attached to; got %v", diags)
+	}
+}

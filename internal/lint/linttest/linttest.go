@@ -1,0 +1,109 @@
+// Package linttest is an analysistest-style golden harness for simlint
+// analyzers: it loads a testdata package, runs one analyzer, and checks
+// the diagnostics against `// want "regexp"` comments. Suppressions are
+// exercised too — lines carrying //simlint:ignore must produce no
+// diagnostic and therefore no want comment.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cloudbench/internal/lint"
+)
+
+// Run analyzes the package in dir (a directory containing one Go package,
+// conventionally testdata/src/<analyzer>) with a and compares diagnostics
+// against the want comments in its sources.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	prog, err := lint.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := lint.Analyze(prog, []*lint.Analyzer{a}, lint.AnalyzeOptions{IgnoreScope: true})
+	if err != nil {
+		t.Fatalf("analyzing %s: %v", dir, err)
+	}
+
+	wants := collectWants(t, prog)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		rest := wants[key][:0]
+		for _, w := range wants[key] {
+			if !matched && w.MatchString(d.Message) {
+				matched = true
+				continue
+			}
+			rest = append(rest, w)
+		}
+		wants[key] = rest
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			t.Errorf("missing diagnostic at %s: want match for %q", key, w.String())
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// collectWants parses `// want "re" "re"...` comments, keyed by file:line.
+func collectWants(t *testing.T, prog *lint.Program) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[string][]*regexp.Regexp)
+	for _, pkg := range prog.Targets() {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, q := range splitQuoted(m[1]) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+						}
+						wants[key] = append(wants[key], re)
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted extracts the double- or back-quoted strings from s.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			return out
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[:end+2])
+		s = s[end+2:]
+	}
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"sort"
+)
+
+// AnalyzeOptions configures one driver run.
+type AnalyzeOptions struct {
+	// IgnoreScope runs every analyzer on every target package regardless
+	// of Analyzer.AppliesTo. Golden tests use it so testdata packages
+	// (whose import paths are synthetic) still exercise scoped analyzers.
+	IgnoreScope bool
+}
+
+// Analyze runs the analyzers over prog's target packages and returns the
+// surviving diagnostics: suppressed findings are dropped, malformed
+// directives are themselves reported, and the result is sorted by position.
+func Analyze(prog *Program, analyzers []*Analyzer, opts AnalyzeOptions) ([]Diagnostic, error) {
+	targets := prog.Targets()
+
+	// Hook-type directives are declarations about a package's API, so
+	// they must be visible to every package that calls through the hook,
+	// not just the declaring one: collect them program-wide up front.
+	hookTypes := make(map[string]bool)
+	var directives []directive
+	for _, pkg := range targets {
+		for _, name := range hookTypesOf(pkg) {
+			hookTypes[name] = true
+		}
+		for _, f := range pkg.Files {
+			directives = append(directives, fileDirectives(prog.Fset, f)...)
+		}
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range targets {
+		for _, a := range analyzers {
+			if !opts.IgnoreScope && a.AppliesTo != nil && !a.AppliesTo(pkg.ImportPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				HookTypes: hookTypes,
+				diags:     &diags,
+			}
+			//simlint:ignore hookguard every registered analyzer declares Run; a nil is a programming error best surfaced as a panic
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Suppression index: file -> line -> ignore directives. An ignore
+	// suppresses diagnostics on its own line (trailing comment) and on
+	// the line immediately below (standalone comment above the code).
+	ignores := make(map[string]map[int][]directive)
+	for _, d := range directives {
+		switch d.kind {
+		case dirIgnore:
+			byLine := ignores[d.pos.Filename]
+			if byLine == nil {
+				byLine = make(map[int][]directive)
+				ignores[d.pos.Filename] = byLine
+			}
+			byLine[d.pos.Line] = append(byLine[d.pos.Line], d)
+		case dirMalformed:
+			diags = append(diags, Diagnostic{
+				Analyzer: "simlint",
+				Pos:      d.pos,
+				Message:  d.problem,
+			})
+		}
+	}
+
+	kept := diags[:0]
+	for _, dg := range diags {
+		if !suppressed(ignores, dg) {
+			kept = append(kept, dg)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+func suppressed(ignores map[string]map[int][]directive, dg Diagnostic) bool {
+	byLine := ignores[dg.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{dg.Pos.Line, dg.Pos.Line - 1} {
+		for _, d := range byLine[line] {
+			if d.analyzer == dg.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// All returns the full simlint analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Detwalk, Hookguard, Hotpath, Seedflow}
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Seedflow enforces the randomness provenance invariant: every RNG must be
+// derived from the experiment seed. A rand.New whose source traces to a
+// wall clock, a constant, or nothing at all silently breaks same-seed
+// reproducibility — the exact failure mode the -seed flag and the parallel
+// sweep's bit-identity guarantee exist to prevent. The analyzer flags any
+// rand.New (math/rand and math/rand/v2) whose source argument is not
+// traceable, through local assignments, to an identifier, field, or
+// function whose name mentions "seed" (Options.Seed, a seed parameter,
+// procSeed, splitmix64).
+var Seedflow = &Analyzer{
+	Name:      "seedflow",
+	Doc:       "rand.New sources must be traceable to a seed parameter or Options.Seed-style field",
+	AppliesTo: func(importPath string) bool { return strings.HasPrefix(importPath, "cloudbench") },
+	Run:       runSeedflow,
+}
+
+func runSeedflow(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			assigns := collectAssignments(pass, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := funcObj(pass.TypesInfo, call)
+				if !isPkgFunc(obj, "math/rand", "New") && !isPkgFunc(obj, "math/rand/v2", "New") {
+					return true
+				}
+				if len(call.Args) == 1 && !seedTraceable(pass, call.Args[0], assigns, make(map[types.Object]bool)) {
+					pass.Reportf(call.Pos(), "rand.New source is not derived from a seed; thread Options.Seed or a seed parameter through the constructor")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectAssignments maps each local variable to the expressions assigned
+// to it anywhere in fn, so provenance can be traced through intermediates
+// (src := splitmix64(seed); rand.New(rand.NewSource(src))).
+func collectAssignments(pass *Pass, fn *ast.FuncDecl) map[types.Object][]ast.Expr {
+	assigns := make(map[types.Object][]ast.Expr)
+	record := func(lhs ast.Expr, rhs []ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+			assigns[obj] = append(assigns[obj], rhs...)
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i:i+1])
+				}
+			} else {
+				for _, lhs := range n.Lhs {
+					record(lhs, n.Rhs)
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				record(name, n.Values)
+			}
+		}
+		return true
+	})
+	return assigns
+}
+
+// seedTraceable reports whether any leaf of e mentions seed provenance: an
+// identifier/field/function whose name contains "seed" (or a splitmix
+// mixer), possibly through local variables.
+func seedTraceable(pass *Pass, e ast.Expr, assigns map[types.Object][]ast.Expr, visiting map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if seedName(n.Name) {
+				found = true
+				return false
+			}
+			obj := pass.TypesInfo.ObjectOf(n)
+			if obj == nil || visiting[obj] {
+				return true
+			}
+			if rhs, ok := assigns[obj]; ok {
+				visiting[obj] = true
+				for _, r := range rhs {
+					if seedTraceable(pass, r, assigns, visiting) {
+						found = true
+						return false
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if seedName(n.Sel.Name) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func seedName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "seed") || strings.Contains(lower, "splitmix")
+}

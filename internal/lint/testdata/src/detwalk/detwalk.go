@@ -1,0 +1,112 @@
+// Package detwalk is golden-test input for the detwalk analyzer: each
+// `want` comment is a diagnostic the analyzer must produce, and every
+// undecorated line must produce none.
+package detwalk
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now() // want `time\.Now observes the host clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep observes the host clock`
+	return time.Since(start) // want `time\.Since observes the host clock`
+}
+
+func durationsAreFine(d time.Duration) time.Duration {
+	return d + 5*time.Millisecond // type and constants only: ok
+}
+
+func globalRand(r *rand.Rand) int {
+	n := rand.Intn(10) // want `global rand\.Intn`
+	return n + r.Intn(10) // threaded *rand.Rand method: ok
+}
+
+func seededConstructor(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // constructors are fine here
+}
+
+func mapAppendSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // append then sort: ok
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapCounters(m map[string]int) int {
+	total := 0
+	for _, v := range m { // integer accumulation: ok
+		total += v
+	}
+	return total
+}
+
+func mapMax(m map[string]int) int {
+	best := 0
+	for _, v := range m { // running extremum: ok
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m { // per-key writes into another map: ok
+		out[k] = v * 2
+	}
+	return out
+}
+
+func mapExistential(m map[string]int) bool {
+	for _, v := range m { // constant-result early return: ok
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func mapFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration order is randomized`
+		sum += v
+	}
+	return sum
+}
+
+func mapUnsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is randomized`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func mapEarlyReturn(m map[string]int) string {
+	for k, v := range m { // want `map iteration order is randomized`
+		if v > 0 {
+			return k
+		}
+	}
+	return ""
+}
+
+func suppressedWallClock() int64 {
+	//simlint:ignore detwalk host timestamp feeds a log line, never the simulation
+	return time.Now().UnixNano()
+}
+
+func multiCaseSelect(a, b chan int) int {
+	select { // want `select with 2 cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

@@ -1,0 +1,72 @@
+// Package hookguard is golden-test input for the hookguard analyzer.
+package hookguard
+
+// Oracle mimics the consistency oracle: method calls through a *Oracle
+// must be dominated by a nil check.
+//
+//simlint:hook
+type Oracle struct{ n int }
+
+func (o *Oracle) Observe(v int) {
+	if o == nil {
+		return
+	}
+	o.n += v
+}
+
+// Sink is a nullable callback field; calling Fn needs a nil check.
+type Sink struct {
+	Fn   func(int)
+	Name string
+}
+
+type DB struct {
+	oracle *Oracle
+	sink   Sink
+}
+
+func (db *DB) guarded(v int) {
+	if db.oracle != nil {
+		db.oracle.Observe(v)
+	}
+	if db.sink.Fn != nil {
+		db.sink.Fn(v)
+	}
+}
+
+func (db *DB) guardedConjunct(v int) {
+	if db.oracle != nil && v > 0 {
+		db.oracle.Observe(v)
+	}
+}
+
+func (db *DB) earlyExit(v int) {
+	if db.oracle == nil {
+		return
+	}
+	db.oracle.Observe(v) // dominated by the early return: ok
+}
+
+func (db *DB) unguarded(v int) {
+	db.oracle.Observe(v) // want `nullable hook db\.oracle`
+	db.sink.Fn(v)        // want `nullable hook db\.sink\.Fn`
+}
+
+func (db *DB) aliased(v int) {
+	f := db.sink.Fn
+	f(v) // want `nullable hook f`
+	if f != nil {
+		f(v) // guarded alias: ok
+	}
+}
+
+func (db *DB) shortCircuit(v int) {
+	_ = db.sink.Fn != nil && logged(db.sink.Fn, v)
+}
+
+func logged(f func(int), v int) bool { f(v); return true }
+
+func (db *DB) suppressed(v int) {
+	//simlint:ignore hookguard sink is installed unconditionally by the only constructor
+	db.sink.Fn(v)
+}

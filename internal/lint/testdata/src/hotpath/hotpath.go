@@ -1,0 +1,57 @@
+// Package hotpath is golden-test input for the hotpath analyzer.
+package hotpath
+
+import "fmt"
+
+type ring struct {
+	buf   []int
+	label string
+	flush func()
+}
+
+func sink(any)        {}
+func take(p *ring)    {}
+func useIface(x any)  {}
+
+//simlint:hotpath
+func (r *ring) push(v int) {
+	r.buf = append(r.buf, v) // plain append: ok
+}
+
+//simlint:hotpath
+func (r *ring) deferred() {
+	defer fmt.Println("done") // want `defer in hot path` `fmt\.Println in hot path`
+	r.buf = r.buf[:0]
+}
+
+//simlint:hotpath
+func (r *ring) closes(v int) {
+	r.flush = func() { r.push(v) } // want `closure allocated in hot path`
+}
+
+//simlint:hotpath
+func (r *ring) concat(s string) {
+	r.label = r.label + s // want `string concatenation in hot path`
+	r.label += "!"        // want `string concatenation in hot path`
+}
+
+//simlint:hotpath
+func (r *ring) boxes(v int, p *ring) {
+	useIface(v)      // want `boxes a non-pointer value`
+	useIface(p)      // pointers share the interface word: ok
+	useIface(nil)    // nil: ok
+	_ = any(v)       // want `conversion to interface`
+	take(p)          // concrete parameter: ok
+}
+
+// Unmarked functions may do all of this freely.
+func coldPath(r *ring) string {
+	defer fmt.Println("cold")
+	return fmt.Sprintf("%v", r.buf)
+}
+
+//simlint:hotpath
+func (r *ring) suppressedColdError(err error) {
+	//simlint:ignore hotpath the error branch is cold by construction
+	fmt.Println(err)
+}

@@ -1,0 +1,10 @@
+// Package malformed is golden-test input for directive validation: an
+// ignore without a reason must be reported and must not suppress.
+package malformed
+
+import "time"
+
+func missingReason() int64 {
+	//simlint:ignore detwalk
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,48 @@
+// Package seedflow is golden-test input for the seedflow analyzer.
+package seedflow
+
+import (
+	"math/rand"
+	"time"
+)
+
+type Options struct{ Seed int64 }
+
+func splitmix64(x int64) int64 {
+	u := uint64(x) + 0x9e3779b97f4a7c15
+	u = (u ^ (u >> 30)) * 0xbf58476d1ce4e5b9
+	return int64(u ^ (u >> 27))
+}
+
+func fromOptions(o Options) *rand.Rand {
+	return rand.New(rand.NewSource(o.Seed)) // ok: Options.Seed
+}
+
+func fromParam(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(i))) // ok: seed parameter
+}
+
+func throughLocals(o Options) *rand.Rand {
+	mixed := splitmix64(o.Seed)
+	src := rand.NewSource(mixed)
+	return rand.New(src) // ok: traced through mixed and src
+}
+
+func fromWallClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand\.New source is not derived from a seed`
+}
+
+func fromConstant() *rand.Rand {
+	return rand.New(rand.NewSource(12345)) // want `rand\.New source is not derived from a seed`
+}
+
+func throughUntraceableLocal() *rand.Rand {
+	n := time.Now().UnixNano()
+	src := rand.NewSource(n)
+	return rand.New(src) // want `rand\.New source is not derived from a seed`
+}
+
+func suppressed() *rand.Rand {
+	//simlint:ignore seedflow demo stream, reproducibility deliberately not required
+	return rand.New(rand.NewSource(777))
+}

@@ -135,6 +135,8 @@ func (k *Kernel) Live() int { return k.live }
 // events per run, and recycling them keeps the hot path allocation-free.
 // Events handed out by schedule must not be retained by callers — use
 // scheduleTimer for events that are cancelable later.
+//
+//simlint:hotpath
 func (k *Kernel) schedule(t Time, fn func()) *event {
 	if t < k.now {
 		t = k.now
@@ -155,6 +157,8 @@ func (k *Kernel) schedule(t Time, fn func()) *event {
 // scheduleTimer is schedule for events whose pointer escapes the kernel
 // (future timeouts). Pinned events are exempt from recycling so a stale
 // cancel after the timer fired can never touch a reused struct.
+//
+//simlint:hotpath
 func (k *Kernel) scheduleTimer(t Time, fn func()) *event {
 	e := k.schedule(t, fn)
 	e.pinned = true
@@ -162,6 +166,8 @@ func (k *Kernel) scheduleTimer(t Time, fn func()) *event {
 }
 
 // recycle returns a fired, unpinned event to the free list.
+//
+//simlint:hotpath
 func (k *Kernel) recycle(e *event) {
 	if e.pinned {
 		return
@@ -172,6 +178,8 @@ func (k *Kernel) recycle(e *event) {
 
 // cancel removes a pending event. Canceling an already-fired event is a
 // no-op.
+//
+//simlint:hotpath
 func (k *Kernel) cancel(e *event) {
 	if e == nil || e.canceled || e.index < 0 {
 		if e != nil {
@@ -277,6 +285,8 @@ func procSeed(seed, id int64) int64 {
 }
 
 // dispatch hands control to p until it parks or terminates.
+//
+//simlint:hotpath
 func (k *Kernel) dispatch(p *Proc) {
 	k.current = p
 	p.resume <- struct{}{}
@@ -288,6 +298,9 @@ func (k *Kernel) dispatch(p *Proc) {
 
 // park blocks the calling process until something dispatches it again.
 // why describes what the process is waiting on (used in deadlock reports).
+// The label must be a static string — see Sleep.
+//
+//simlint:hotpath
 func (p *Proc) park(why string) {
 	p.parked = why
 	p.k.current = nil
@@ -305,7 +318,12 @@ func (p *Proc) park(why string) {
 // The park label is the static string "sleep" rather than a formatted
 // "sleep(5ms)": sleeping processes always have a pending wake event, so they
 // can never appear in a deadlock report, and formatting the label on every
-// park was the single largest allocation in the kernel's hot path.
+// park was the single largest allocation in the kernel's hot path. The
+// //simlint:hotpath marker makes simlint reject defer, closures, fmt,
+// string concatenation, and interface boxing here, so the 0 allocs/op of
+// BenchmarkKernelSleep is enforced at build time, not just measured.
+//
+//simlint:hotpath
 func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
@@ -347,6 +365,13 @@ func (k *Kernel) Run() error { return k.RunUntil(Time(1<<63 - 1)) }
 
 // RunUntil executes events with time ≤ limit. Events beyond the limit stay
 // queued, and reaching the limit is not a deadlock.
+//
+// This is the kernel event loop: everything inside the for is the hottest
+// code in the repository, and the //simlint:hotpath marker keeps it
+// allocation-free by construction (no defer, closures, fmt, string
+// concatenation, or interface boxing).
+//
+//simlint:hotpath
 func (k *Kernel) RunUntil(limit Time) error {
 	for len(k.queue) > 0 {
 		e := k.queue[0]
@@ -362,6 +387,10 @@ func (k *Kernel) RunUntil(limit Time) error {
 		k.now = e.t
 		fn := e.fn
 		k.recycle(e)
+		// Every scheduled event carries a fn (schedule never stores nil);
+		// a nil here is kernel corruption, and the panic is the best
+		// possible report — a nil guard would silently drop the event.
+		//simlint:ignore hookguard event fns are set by schedule; nil means kernel corruption and must panic
 		fn()
 	}
 	if k.live > 0 {

@@ -145,6 +145,18 @@ func (e *Engine) Get(p *sim.Proc, key kv.Key) *Row {
 }
 
 // ScanRow is one result of Engine.Scan.
+// rowIter is a merge cursor over one level (memtable, immutable memtable,
+// or SSTable). Using the iterators' method sets directly — instead of a
+// struct of captured method values — keeps Scan free of per-source closure
+// allocations and of nullable function fields (simlint's hookguard would
+// demand a nil check before every call through those).
+type rowIter interface {
+	Valid() bool
+	Key() kv.Key
+	Row() *Row
+	Next()
+}
+
 type ScanRow struct {
 	Key kv.Key
 	Row *Row
@@ -154,23 +166,13 @@ type ScanRow struct {
 // reconciled across all levels. I/O is charged per block entered.
 func (e *Engine) Scan(p *sim.Proc, start kv.Key, limit int) []ScanRow {
 	e.Scans++
-	type src struct {
-		valid func() bool
-		key   func() kv.Key
-		row   func() *Row
-		next  func()
-	}
-	var srcs []src
-	addSl := func(it *slIter) {
-		srcs = append(srcs, src{it.Valid, it.Key, it.Row, it.Next})
-	}
-	addSl(e.mem.Seek(start))
+	var srcs []rowIter
+	srcs = append(srcs, e.mem.Seek(start))
 	for _, m := range e.imm {
-		addSl(m.Seek(start))
+		srcs = append(srcs, m.Seek(start))
 	}
 	for _, t := range e.tables {
-		it := t.Iter(p, e.io, e.cache, start)
-		srcs = append(srcs, src{it.Valid, it.Key, it.Row, it.Next})
+		srcs = append(srcs, t.Iter(p, e.io, e.cache, start))
 	}
 	var out []ScanRow
 	for len(out) < limit {
@@ -178,8 +180,8 @@ func (e *Engine) Scan(p *sim.Proc, start kv.Key, limit int) []ScanRow {
 		var minKey kv.Key
 		found := false
 		for _, s := range srcs {
-			if s.valid() && (!found || s.key() < minKey) {
-				minKey = s.key()
+			if s.Valid() && (!found || s.Key() < minKey) {
+				minKey = s.Key()
 				found = true
 			}
 		}
@@ -188,9 +190,9 @@ func (e *Engine) Scan(p *sim.Proc, start kv.Key, limit int) []ScanRow {
 		}
 		row := NewRow()
 		for _, s := range srcs {
-			if s.valid() && s.key() == minKey {
-				row.MergeFrom(s.row())
-				s.next()
+			if s.Valid() && s.Key() == minKey {
+				row.MergeFrom(s.Row())
+				s.Next()
 			}
 		}
 		if row.Live() {
@@ -265,7 +267,16 @@ func (e *Engine) maybeCompact() {
 		tr := tier(t.Bytes())
 		byTier[tr] = append(byTier[tr], t)
 	}
-	for _, group := range byTier {
+	// Visit tiers smallest-first: which tier compacts must not depend on
+	// map iteration order, or the whole downstream event schedule (and
+	// with it same-seed reproducibility) drifts between runs.
+	tiers := make([]int, 0, len(byTier))
+	for tr := range byTier {
+		tiers = append(tiers, tr)
+	}
+	sort.Ints(tiers)
+	for _, tr := range tiers {
+		group := byTier[tr]
 		if len(group) >= e.cfg.CompactMinTables {
 			e.compacting = true
 			inputs := group

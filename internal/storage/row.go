@@ -75,14 +75,22 @@ func (r *Row) Live() bool {
 }
 
 // Record materializes the row's live cells as a Record, or nil if the row
-// is fully dead.
+// is fully dead. Two passes keep the map iteration order-insensitive: the
+// first only counts (sizing the allocation exactly), the second only does
+// per-key writes.
 func (r *Row) Record() kv.Record {
-	var rec kv.Record
+	live := 0
+	for _, c := range r.Cells {
+		if c.Ver > r.Tomb {
+			live++
+		}
+	}
+	if live == 0 {
+		return nil
+	}
+	rec := make(kv.Record, live)
 	for f, c := range r.Cells {
 		if c.Ver > r.Tomb {
-			if rec == nil {
-				rec = make(kv.Record, len(r.Cells))
-			}
 			rec[f] = c.Val
 		}
 	}

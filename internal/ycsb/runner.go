@@ -141,7 +141,9 @@ func Run(driver *sim.Proc, newClient ClientFactory, w *Workload, cfg RunConfig) 
 	start := k.Now()
 	if measuring {
 		measureStart = start
-		cfg.Oracle.BeginMeasure(start)
+		if cfg.Oracle != nil {
+			cfg.Oracle.BeginMeasure(start)
+		}
 	}
 
 	var interval time.Duration
@@ -185,13 +187,17 @@ func Run(driver *sim.Proc, newClient ClientFactory, w *Workload, cfg RunConfig) 
 				lat := end.Sub(opStart)
 				completed++
 				for nextEvent < len(cfg.Events) && completed >= cfg.Events[nextEvent].AfterOps {
-					cfg.Events[nextEvent].Fn()
+					if fn := cfg.Events[nextEvent].Fn; fn != nil {
+						fn()
+					}
 					nextEvent++
 				}
 				if !measuring && completed >= warmupOps {
 					measuring = true
 					measureStart = p.Now()
-					cfg.Oracle.BeginMeasure(measureStart)
+					if cfg.Oracle != nil {
+						cfg.Oracle.BeginMeasure(measureStart)
+					}
 				} else if measuring {
 					res.MeasuredOps++
 					res.Overall.Record(lat)
@@ -222,7 +228,10 @@ func Run(driver *sim.Proc, newClient ClientFactory, w *Workload, cfg RunConfig) 
 
 // execute performs one operation against the client. ErrNotFound on reads
 // is reported to the caller but is not a client error (it is how stale or
-// racing reads manifest).
+// racing reads manifest). It runs once per YCSB operation — millions of
+// times per sweep cell — hence the hotpath marker.
+//
+//simlint:hotpath
 func execute(p *sim.Proc, cl kv.Client, op Op) error {
 	switch op.Type {
 	case OpRead:
