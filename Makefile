@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint vet
+.PHONY: all build test race bench lint vet trace
 
 all: build lint test
 
@@ -29,3 +29,9 @@ vet:
 lint: vet
 	$(GO) run ./cmd/simlint ./...
 	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... || echo "staticcheck not installed; CI runs it pinned"
+
+# Per-phase latency decomposition at smoke scale: tracebreak.csv holds the
+# phase-share grid, trace.json one span-retaining cell in Chrome
+# trace-event format (load into chrome://tracing or Perfetto).
+trace:
+	$(GO) run ./cmd/replbench -experiment tracebreak -short -o tracebreak.csv -trace-out trace.json

@@ -18,6 +18,7 @@ import (
 	"cloudbench/internal/core"
 	"cloudbench/internal/kv"
 	"cloudbench/internal/sim"
+	"cloudbench/internal/trace"
 	"cloudbench/internal/ycsb"
 )
 
@@ -308,6 +309,51 @@ func TestAttachedOracleRegisterDetach(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("post-detach hook path allocated %.1f allocs/op, want 0", allocs)
 	}
+}
+
+// benchTracerHooks drives the exact nil-gated tracer call-site shape the
+// YCSB runner and database read paths use — root span open/close around
+// a queue-wait and a storage phase — once per iteration inside a sim
+// process.
+func benchTracerHooks(b *testing.B, tr *trace.Tracer) {
+	k := sim.NewKernel(11)
+	k.Spawn("driver", func(p *sim.Proc) {
+		tr.BeginMeasure(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var t0 sim.Time
+			if tr != nil {
+				tr.StartOp(p, trace.ClassRead)
+				t0 = p.Now()
+			}
+			if tr != nil {
+				tr.Interval(p, trace.PhaseCoordQueue, 1, t0, t0)
+				tr.Phase(p, trace.PhaseStorage, 1, t0)
+				tr.EndOp(p)
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTracerDisabled measures the tracing hooks on the YCSB read
+// path with tracing off — how every performance experiment runs. The
+// nil-gated sites must cost one predicted branch each: allocs/op must be
+// 0 (pinned by TestDisabledTracerHooksZeroAlloc in internal/trace and by
+// the hotpath analyzer on the runner).
+func BenchmarkTracerDisabled(b *testing.B) {
+	benchTracerHooks(b, nil)
+}
+
+// BenchmarkTracerEnabled measures the same call sites with a tracer
+// attached: the per-op cost of a root span plus two phase spans, all
+// aggregation in fixed-bucket histograms. The delta against
+// BenchmarkTracerDisabled is the price of turning tracing on.
+func BenchmarkTracerEnabled(b *testing.B) {
+	benchTracerHooks(b, trace.New())
 }
 
 // BenchmarkSweepParallel measures the wall-clock of the same Fig. 2 sweep

@@ -3,8 +3,11 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
+
+	"cloudbench/internal/core"
 )
 
 // capture runs the CLI and returns its report with the trailing
@@ -43,6 +46,42 @@ func TestSweepBitIdentical(t *testing.T) {
 				t.Errorf("two -parallel 8 runs with the same seed differ:\n%s", firstDiff(wide, repeat))
 			}
 		})
+	}
+}
+
+// TestTraceBitIdentical extends the invariant to the tracing subsystem:
+// the per-phase decomposition must be byte-identical across worker-pool
+// sizes, and the raw span stream — IDs included, which are drawn from the
+// per-proc seeded RNGs — must be identical across same-seed runs.
+func TestTraceBitIdentical(t *testing.T) {
+	base := []string{"-experiment", "tracebreak", "-profile", "smoke", "-seed", "42", "-rf", "1,3"}
+	serial := capture(t, append(base, "-parallel", "1")...)
+	wide := capture(t, append(base, "-parallel", "8")...)
+	if serial != wide {
+		t.Errorf("-parallel 1 and -parallel 8 tracebreak reports differ:\n%s", firstDiff(serial, wide))
+	}
+
+	o := core.SmokeOptions()
+	o.Seed = 42
+	o.ReplicationFactors = []int{3}
+	_, a, err := core.RunTraceSpans(o, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := core.RunTraceSpans(o, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("span-retaining cell kept no spans")
+	}
+	if !reflect.DeepEqual(a, b) {
+		for i := range a {
+			if i < len(b) && a[i] != b[i] {
+				t.Fatalf("span %d differs:\n  a: %+v\n  b: %+v", i, a[i], b[i])
+			}
+		}
+		t.Fatalf("span streams differ in length: %d vs %d", len(a), len(b))
 	}
 }
 

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	replbench -experiment table1|fig1|fig2|fig3|audit|ablation-a1|ablation-a2|ablation-a3|geo|failover|sla|findings|all \
-//	          [-profile smoke|quick|paper] [-seed N] [-rf 1,2,3] [-parallel N] [-csv] [-o results.txt]
+//	replbench -experiment table1|fig1|fig2|fig3|audit|tracebreak|ablation-a1|ablation-a2|ablation-a3|geo|failover|sla|findings|all \
+//	          [-profile smoke|quick|paper] [-short] [-seed N] [-rf 1,2,3] [-parallel N] [-csv] [-o results.txt] [-trace-out trace.json]
 //
 // Sweeps fan their independent cells out across host CPUs (-parallel bounds
 // the worker pool; 0 means one worker per CPU). Every cell is its own
@@ -28,6 +28,7 @@ import (
 
 	"cloudbench/internal/core"
 	"cloudbench/internal/stats"
+	"cloudbench/internal/trace"
 	"cloudbench/internal/ycsb"
 )
 
@@ -43,8 +44,10 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("replbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "table1, fig1, fig2, fig3, audit, ablation-a1, ablation-a2, ablation-a3, geo, failover, sla, findings, or all")
+	experiment := fs.String("experiment", "all", "table1, fig1, fig2, fig3, audit, tracebreak, ablation-a1, ablation-a2, ablation-a3, geo, failover, sla, findings, or all")
 	profile := fs.String("profile", "quick", "smoke, quick, or paper scale")
+	short := fs.Bool("short", false, "shorthand for -profile smoke")
+	traceOut := fs.String("trace-out", "", "write Chrome trace-event JSON for one span-retaining tracebreak cell to this file")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	parallel := fs.Int("parallel", 0, "sweep cells run concurrently (0 = one per CPU); results are bit-identical for every value")
 	rfList := fs.String("rf", "", "comma-separated replication factors (default 1-6)")
@@ -55,6 +58,9 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	if *short {
+		*profile = "smoke"
+	}
 	var o core.Options
 	switch *profile {
 	case "smoke":
@@ -156,6 +162,43 @@ func run(args []string, stdout io.Writer) error {
 		}
 		render(res.Table())
 		findings = append(findings, core.CheckAudit(res)...)
+	}
+	if want("tracebreak") {
+		to := o
+		if *rfList == "" {
+			// The per-phase decomposition is about how shares move with
+			// the replication factor (F4's read-repair growth needs at
+			// least RF 3..6); sweep the full range at every profile scale
+			// unless -rf narrowed it explicitly.
+			to.ReplicationFactors = []int{1, 2, 3, 4, 5, 6}
+		}
+		res, err := core.RunTraceBreakdown(to)
+		if err != nil {
+			return err
+		}
+		// The decomposition is a long narrow table meant for downstream
+		// plotting; emit CSV regardless of -csv.
+		res.Table().CSV(w)
+		fmt.Fprintln(w)
+		findings = append(findings, core.CheckTrace(res)...)
+		if *traceOut != "" {
+			_, spans, err := core.RunTraceSpans(to, core.TraceSpanKeep)
+			if err != nil {
+				return err
+			}
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			if err := trace.WriteChrome(f, spans); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %d spans to %s (chrome://tracing / Perfetto format)\n\n", len(spans), *traceOut)
+		}
 	}
 	if want("ablation-a1") {
 		fig, err := core.AblationReadRepair(o)

@@ -22,6 +22,7 @@ import (
 	"cloudbench/internal/kv"
 	"cloudbench/internal/sim"
 	"cloudbench/internal/storage"
+	"cloudbench/internal/trace"
 )
 
 // Config parameterizes the database.
@@ -127,6 +128,7 @@ type DB struct {
 	rrSeq        uint64 // deterministic read-repair dice
 	hintProcLive bool
 	oracle       *consistency.Oracle
+	tracer       *trace.Tracer
 
 	// Metrics.
 	Reads, Writes, ScansDone       int64
@@ -175,6 +177,26 @@ func (db *DB) SetOracle(o *consistency.Oracle) { db.oracle = o }
 // Oracle returns the attached consistency oracle, if any.
 func (db *DB) Oracle() *consistency.Oracle { return db.oracle }
 
+// SetTracer attaches a request tracer recording per-phase spans along the
+// read, write, repair, and hint paths. Pass nil (the default) to run
+// untraced: like the oracle, every call site is nil-gated.
+func (db *DB) SetTracer(t *trace.Tracer) {
+	db.tracer = t
+	for _, rep := range db.reps {
+		node := rep.Node
+		if t == nil {
+			rep.engine.OnWALSync = nil
+			continue
+		}
+		rep.engine.OnWALSync = func(p *sim.Proc, start sim.Time) {
+			t.Phase(p, trace.PhaseWAL, node.ID, start)
+		}
+	}
+}
+
+// Tracer returns the attached tracer, if any.
+func (db *DB) Tracer() *trace.Tracer { return db.tracer }
+
 // Replicas returns the database's hosts.
 func (db *DB) Replicas() []*Replica { return db.reps }
 
@@ -197,6 +219,22 @@ func localPlan(replicas []*Replica, zone int) (local []*Replica, need int) {
 		}
 	}
 	return local, len(local)/2 + 1
+}
+
+// execCoord charges coordinator CPU for one request. With a tracer
+// attached it splits the time into coordinator queueing (stop-the-world
+// pause + CPU-slot wait) and coordinator service phases.
+func (db *DB) execCoord(p *sim.Proc, n *cluster.Node, cost time.Duration) {
+	if db.tracer == nil {
+		n.Exec(p, cost)
+		return
+	}
+	t0 := p.Now()
+	wait := n.ExecTimed(p, cost)
+	if wait > 0 {
+		db.tracer.Interval(p, trace.PhaseCoordQueue, n.ID, t0, t0.Add(wait))
+	}
+	db.tracer.Phase(p, trace.PhaseCoord, n.ID, t0.Add(wait))
 }
 
 // version issues the next write timestamp.
@@ -237,11 +275,18 @@ func (rep *Replica) applyLocal(p *sim.Proc, db *DB, key kv.Key, rec kv.Record, d
 	if cost <= 0 {
 		cost = db.cl.Config.CPUOpCost
 	}
+	var t0 sim.Time
+	if db.tracer != nil {
+		t0 = p.Now()
+	}
 	rep.Node.Exec(p, cost)
 	if del {
 		rep.engine.ApplyDelete(p, key, ver)
 	} else {
 		rep.engine.Apply(p, key, rec, ver)
+	}
+	if db.tracer != nil {
+		db.tracer.Phase(p, trace.PhaseStorage, rep.Node.ID, t0)
 	}
 	if db.oracle != nil {
 		db.oracle.ReplicaApply(key, ver, rep.Node.ID, src, p.Now())
@@ -304,18 +349,32 @@ func (db *DB) write(p *sim.Proc, coord *Replica, key kv.Key, rec kv.Record, del 
 			continue
 		}
 		db.k.Spawn("c*-repl-write", func(q2 *sim.Proc) {
+			var t0 sim.Time
+			if db.tracer != nil {
+				t0 = q2.Now()
+			}
 			if !coord.Node.SendTo(q2, rep.Node, size) {
 				if counts(rep) {
 					q.Fail()
 				}
 				return
 			}
+			if db.tracer != nil {
+				db.tracer.Phase(q2, trace.PhaseFanout, rep.Node.ID, t0)
+			}
 			rep.applyLocal(q2, db, key, rec, del, ver, consistency.ApplyWrite)
+			var t1 sim.Time
+			if db.tracer != nil {
+				t1 = q2.Now()
+			}
 			if !rep.Node.SendTo(q2, coord.Node, db.cfg.RequestOverhead) {
 				if counts(rep) {
 					q.Fail()
 				}
 				return
+			}
+			if db.tracer != nil {
+				db.tracer.Phase(q2, trace.PhaseFanout, coord.Node.ID, t1)
 			}
 			if counts(rep) {
 				q.Succeed()
@@ -348,26 +407,64 @@ type readResponse struct {
 
 // fetchRow reads the full row from rep on behalf of a spawned process,
 // returning the response through f.
-func (db *DB) fetchRow(coord, rep *Replica, key kv.Key, digestOnly bool, f *sim.Future[readResponse]) {
+func (db *DB) fetchRow(coord, rep *Replica, key kv.Key, digestOnly bool, f *sim.Future[readResponse], repair bool) {
 	db.k.Spawn("c*-read", func(q *sim.Proc) {
+		// A background-repair refetch bills its whole leg — request,
+		// replica service, response — as one read-repair span; the leg's
+		// fanout and storage sub-phases are muted so they are not
+		// double-counted. Per-leg billing is what makes the repair bill
+		// grow with the replication factor: the legs run concurrently, so
+		// a single wall-clock span over all of them would only measure
+		// the slowest.
+		if repair {
+			if tr := db.tracer; tr != nil {
+				t0 := q.Now()
+				prev := tr.Mute(q)
+				defer func() {
+					tr.Unmute(q, prev)
+					tr.Interval(q, trace.PhaseReadRepair, rep.Node.ID, t0, q.Now())
+				}()
+			}
+		}
 		resp := readResponse{rep: rep, data: !digestOnly}
 		reqSize := len(key) + db.cfg.RequestOverhead
 		if rep != coord {
+			var t0 sim.Time
+			if db.tracer != nil {
+				t0 = q.Now()
+			}
 			if !coord.Node.SendTo(q, rep.Node, reqSize) {
 				f.Set(resp)
 				return
 			}
+			if db.tracer != nil {
+				db.tracer.Phase(q, trace.PhaseFanout, rep.Node.ID, t0)
+			}
+		}
+		var s0 sim.Time
+		if db.tracer != nil {
+			s0 = q.Now()
 		}
 		rep.Node.Exec(q, db.cl.Config.CPUOpCost)
 		row := rep.engine.Get(q, key)
+		if db.tracer != nil {
+			db.tracer.Phase(q, trace.PhaseStorage, rep.Node.ID, s0)
+		}
 		respSize := db.cfg.RequestOverhead
 		if !digestOnly && row != nil {
 			respSize += row.Bytes()
 		}
 		if rep != coord {
+			var t1 sim.Time
+			if db.tracer != nil {
+				t1 = q.Now()
+			}
 			if !rep.Node.SendTo(q, coord.Node, respSize) {
 				f.Set(resp)
 				return
+			}
+			if db.tracer != nil {
+				db.tracer.Phase(q, trace.PhaseFanout, coord.Node.ID, t1)
 			}
 		}
 		resp.ok = true
@@ -420,7 +517,7 @@ func (db *DB) read(p *sim.Proc, coord *Replica, key kv.Key, cl kv.ConsistencyLev
 	futs := make([]*sim.Future[readResponse], len(contacted))
 	for i, rep := range contacted {
 		futs[i] = sim.NewFuture[readResponse](db.k)
-		db.fetchRow(coord, rep, key, i != 0, futs[i])
+		db.fetchRow(coord, rep, key, i != 0, futs[i], false)
 	}
 	deadline := db.cfg.Timeout
 	start := p.Now()
@@ -453,7 +550,21 @@ func (db *DB) read(p *sim.Proc, coord *Replica, key kv.Key, cl kv.ConsistencyLev
 	if mismatch {
 		db.DigestMismatch++
 		db.BlockingRepairs++
+		// The repair is traced as one composite span: its internal
+		// refetches and repair writes are muted so they are not
+		// double-billed as fanout/storage work.
+		var t0 sim.Time
+		var prev any
+		if db.tracer != nil {
+			db.tracer.Mark(p, trace.PhaseDigest, coord.Node.ID)
+			t0 = p.Now()
+			prev = db.tracer.Mute(p)
+		}
 		dataRow = db.blockingRepair(p, coord, key, contacted, dataRow)
+		if db.tracer != nil {
+			db.tracer.Unmute(p, prev)
+			db.tracer.Interval(p, trace.PhaseReadRepair, coord.Node.ID, t0, p.Now())
+		}
 	}
 
 	// Background read repair across the full replica set. The replicas
@@ -474,6 +585,12 @@ func (db *DB) read(p *sim.Proc, coord *Replica, key kv.Key, cl kv.ConsistencyLev
 		}
 		known := make([]readResponse, len(resps))
 		copy(known, resps)
+		// The background repair process inherits this read's trace
+		// context, so its work is billed to the read class — the F4
+		// mechanism made measurable. Each refetch and repair-write leg
+		// records its own read-repair span (the legs are concurrent, so
+		// per-leg billing — not one wall-clock span across them — is
+		// what scales the recorded bill with RF−1).
 		db.k.Spawn("c*-bg-repair", func(q *sim.Proc) {
 			db.repairRest(q, coord, key, rest, known)
 		})
@@ -512,7 +629,7 @@ func (db *DB) blockingRepair(p *sim.Proc, coord *Replica, key kv.Key, reps []*Re
 	futs := make([]*sim.Future[readResponse], len(reps))
 	for i, rep := range reps {
 		futs[i] = sim.NewFuture[readResponse](db.k)
-		db.fetchRow(coord, rep, key, false, futs[i])
+		db.fetchRow(coord, rep, key, false, futs[i], false)
 	}
 	merged := storage.NewRow()
 	resps := make([]readResponse, 0, len(futs))
@@ -547,7 +664,7 @@ func (db *DB) repairRest(p *sim.Proc, coord *Replica, key kv.Key, rest []*Replic
 	futs := make([]*sim.Future[readResponse], len(rest))
 	for i, rep := range rest {
 		futs[i] = sim.NewFuture[readResponse](db.k)
-		db.fetchRow(coord, rep, key, false, futs[i])
+		db.fetchRow(coord, rep, key, false, futs[i], true)
 	}
 	merged := storage.NewRow()
 	resps := make([]readResponse, 0, len(futs)+len(known))
@@ -588,6 +705,18 @@ func (db *DB) writeRepairs(p *sim.Proc, coord *Replica, key kv.Key, merged *stor
 		db.RepairWrites++
 		db.k.Spawn("c*-repair-write", func(q2 *sim.Proc) {
 			defer q.Succeed()
+			// Bill the repair write as a read-repair leg. Under a
+			// blocking repair the caller already muted the context and
+			// holds the composite span, so the Interval below is
+			// dropped there; only background repair records per leg.
+			if tr := db.tracer; tr != nil {
+				t0 := q2.Now()
+				prev := tr.Mute(q2)
+				defer func() {
+					tr.Unmute(q2, prev)
+					tr.Interval(q2, trace.PhaseReadRepair, rep.Node.ID, t0, q2.Now())
+				}()
+			}
 			size := db.mutationSize(key, rec)
 			if rep != coord {
 				if !coord.Node.SendTo(q2, rep.Node, size) {
@@ -649,24 +778,45 @@ func (db *DB) scan(p *sim.Proc, coord *Replica, start kv.Key, limit int) []stora
 			part := scanPart{}
 			reqSize := len(start) + db.cfg.RequestOverhead
 			if rep != coord {
+				var t0 sim.Time
+				if db.tracer != nil {
+					t0 = q.Now()
+				}
 				if !coord.Node.SendTo(q, rep.Node, reqSize) {
 					f.Set(part)
 					return
 				}
+				if db.tracer != nil {
+					db.tracer.Phase(q, trace.PhaseFanout, rep.Node.ID, t0)
+				}
+			}
+			var s0 sim.Time
+			if db.tracer != nil {
+				s0 = q.Now()
 			}
 			rep.Node.Exec(q, db.cl.Config.CPUOpCost)
 			rows := rep.engine.Scan(q, start, perHost)
 			if n := len(rows); n > 0 && db.cl.Config.ScanRowCost > 0 {
 				rep.Node.Exec(q, time.Duration(n)*db.cl.Config.ScanRowCost)
 			}
+			if db.tracer != nil {
+				db.tracer.Phase(q, trace.PhaseStorage, rep.Node.ID, s0)
+			}
 			respSize := db.cfg.RequestOverhead
 			for _, r := range rows {
 				respSize += r.Row.Bytes()
 			}
 			if rep != coord {
+				var t1 sim.Time
+				if db.tracer != nil {
+					t1 = q.Now()
+				}
 				if !rep.Node.SendTo(q, coord.Node, respSize) {
 					f.Set(part)
 					return
+				}
+				if db.tracer != nil {
+					db.tracer.Phase(q, trace.PhaseFanout, coord.Node.ID, t1)
 				}
 			}
 			part.rows = rows
@@ -726,6 +876,13 @@ func (db *DB) noteHint(coord *Replica, h hint) {
 // exiting once none remain.
 func (db *DB) hintReplayLoop(p *sim.Proc) {
 	defer func() { db.hintProcLive = false }()
+	// The replayer is spawned from whichever write first stored a hint;
+	// detach so its long-lived work bills to the background class, not to
+	// that op. Each replayed hint is one composite hint-replay span with
+	// its internal apply muted.
+	if db.tracer != nil {
+		db.tracer.Detach(p)
+	}
 	for db.PendingHints() > 0 {
 		p.Sleep(db.cfg.HintReplayInterval)
 		for _, rep := range db.reps {
@@ -743,12 +900,25 @@ func (db *DB) hintReplayLoop(p *sim.Proc) {
 					continue
 				}
 				size := db.mutationSize(h.key, h.rec)
+				var t0 sim.Time
+				var prev any
+				if db.tracer != nil {
+					t0 = p.Now()
+					prev = db.tracer.Mute(p)
+				}
 				if !rep.Node.SendTo(p, h.target.Node, size) {
+					if db.tracer != nil {
+						db.tracer.Unmute(p, prev)
+					}
 					keep = append(keep, h)
 					continue
 				}
 				h.target.applyLocal(p, db, h.key, h.rec, h.del, h.ver, consistency.ApplyHint)
 				h.target.Node.SendTo(p, rep.Node, db.cfg.RequestOverhead)
+				if db.tracer != nil {
+					db.tracer.Unmute(p, prev)
+					db.tracer.Interval(p, trace.PhaseHintReplay, h.target.Node.ID, t0, p.Now())
+				}
 				db.HintsReplayed++
 			}
 			rep.hints = keep

@@ -84,7 +84,7 @@ func (c *Client) Read(p *sim.Proc, key kv.Key, fields []string) (kv.Record, erro
 	if !c.node.SendTo(p, coord.Node, reqSize) {
 		return nil, kv.ErrUnavailable
 	}
-	coord.Node.Exec(p, c.db.cl.Config.CPUOpCost)
+	c.db.execCoord(p, coord.Node, c.db.cl.Config.CPUOpCost)
 	row, err := c.db.read(p, coord, key, c.readCL)
 	if err != nil {
 		return nil, err
@@ -136,7 +136,7 @@ func (c *Client) put(p *sim.Proc, key kv.Key, rec kv.Record, del bool) error {
 	if !c.node.SendTo(p, coord.Node, c.db.mutationSize(key, rec)) {
 		return kv.ErrUnavailable
 	}
-	coord.Node.Exec(p, c.db.cl.Config.CPUOpCost)
+	c.db.execCoord(p, coord.Node, c.db.cl.Config.CPUOpCost)
 	if err := c.db.write(p, coord, key, rec, del, c.writeCL); err != nil {
 		return err
 	}
@@ -159,7 +159,7 @@ func (c *Client) Scan(p *sim.Proc, start kv.Key, limit int, fields []string) ([]
 	if !c.node.SendTo(p, coord.Node, reqSize) {
 		return nil, kv.ErrUnavailable
 	}
-	coord.Node.Exec(p, c.db.cl.Config.CPUOpCost)
+	c.db.execCoord(p, coord.Node, c.db.cl.Config.CPUOpCost)
 	rows := c.db.scan(p, coord, start, limit)
 	respSize := c.db.cfg.RequestOverhead
 	out := make([]kv.KV, 0, len(rows))

@@ -166,6 +166,19 @@ func (n *Node) Exec(p *sim.Proc, cost time.Duration) {
 	n.CPU.Use(p, cost)
 }
 
+// ExecTimed is Exec, additionally returning how long the request waited
+// before service began — the stop-the-world window plus CPU-slot
+// queueing. The tracing layer uses it to attribute coordinator queueing
+// separately from coordinator service.
+func (n *Node) ExecTimed(p *sim.Proc, cost time.Duration) time.Duration {
+	var waited time.Duration
+	if wait := n.pausedUntil.Sub(p.Now()); wait > 0 {
+		p.Sleep(wait)
+		waited = wait
+	}
+	return waited + n.CPU.UseTimed(p, cost)
+}
+
 // ExecDaemon consumes CPU like Exec but ignores stop-the-world windows:
 // it models work done by a co-located auxiliary daemon with its own small
 // heap (e.g. an HDFS DataNode next to a region server), whose pauses are

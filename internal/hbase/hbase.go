@@ -24,6 +24,7 @@ import (
 	"cloudbench/internal/kv"
 	"cloudbench/internal/sim"
 	"cloudbench/internal/storage"
+	"cloudbench/internal/trace"
 )
 
 // Config parameterizes the database.
@@ -73,6 +74,7 @@ type DB struct {
 
 	nextVersion kv.Version
 	oracle      *consistency.Oracle
+	tracer      *trace.Tracer
 
 	// Metrics.
 	Reads, Writes, ScansDone int64
@@ -88,6 +90,42 @@ func (db *DB) SetOracle(o *consistency.Oracle) { db.oracle = o }
 
 // Oracle returns the attached consistency oracle, if any.
 func (db *DB) Oracle() *consistency.Oracle { return db.oracle }
+
+// SetTracer attaches a request tracer recording per-phase spans along the
+// read, write, and flush paths, including WAL syncs and HDFS pipeline
+// hops. Pass nil (the default) to run untraced; call sites are nil-gated.
+func (db *DB) SetTracer(t *trace.Tracer) {
+	db.tracer = t
+	db.fs.SetTracer(t)
+	for _, r := range db.regions {
+		node := r.Server.Node
+		if t == nil {
+			r.engine.OnWALSync = nil
+			continue
+		}
+		r.engine.OnWALSync = func(p *sim.Proc, start sim.Time) {
+			t.Phase(p, trace.PhaseWAL, node.ID, start)
+		}
+	}
+}
+
+// Tracer returns the attached tracer, if any.
+func (db *DB) Tracer() *trace.Tracer { return db.tracer }
+
+// execServer charges region-server CPU for one request, splitting
+// queueing (stop-the-world + CPU-slot wait) from service when traced.
+func (db *DB) execServer(p *sim.Proc, n *cluster.Node, cost time.Duration) {
+	if db.tracer == nil {
+		n.Exec(p, cost)
+		return
+	}
+	t0 := p.Now()
+	wait := n.ExecTimed(p, cost)
+	if wait > 0 {
+		db.tracer.Interval(p, trace.PhaseCoordQueue, n.ID, t0, t0.Add(wait))
+	}
+	db.tracer.Phase(p, trace.PhaseCoord, n.ID, t0.Add(wait))
+}
 
 // RegionServer hosts a set of regions on one node.
 type RegionServer struct {
@@ -214,7 +252,7 @@ func (db *DB) version() kv.Version {
 func (rs *RegionServer) write(p *sim.Proc, r *Region, key kv.Key, rec kv.Record, del bool) {
 	db := rs.db
 	cpu := db.cluster.Config.CPUOpCost
-	rs.Node.Exec(p, cpu)
+	db.execServer(p, rs.Node, cpu)
 	ver := db.version()
 	if db.oracle != nil {
 		// One read-serving replica per key: the owning region. Peer
@@ -233,6 +271,10 @@ func (rs *RegionServer) write(p *sim.Proc, r *Region, key kv.Key, rec kv.Record,
 			peer := peer
 			db.ReplicationSends++
 			db.k.Spawn("hbase-memrepl", func(q2 *sim.Proc) {
+				var t0 sim.Time
+				if db.tracer != nil {
+					t0 = q2.Now()
+				}
 				if !rs.Node.SendTo(q2, peer, size) {
 					q.Fail()
 					return
@@ -245,6 +287,9 @@ func (rs *RegionServer) write(p *sim.Proc, r *Region, key kv.Key, rec kv.Record,
 				if !peer.SendTo(q2, rs.Node, db.cfg.RequestOverhead) {
 					q.Fail()
 					return
+				}
+				if db.tracer != nil {
+					db.tracer.Phase(q2, trace.PhaseFanout, peer.ID, t0)
 				}
 				q.Succeed()
 			})
@@ -273,6 +318,10 @@ func (rs *RegionServer) write(p *sim.Proc, r *Region, key kv.Key, rec kv.Record,
 		peer := peer
 		db.ReplicationSends++
 		db.k.Spawn("hbase-syncrepl", func(q2 *sim.Proc) {
+			var t0 sim.Time
+			if db.tracer != nil {
+				t0 = q2.Now()
+			}
 			if !rs.Node.SendTo(q2, peer, size) {
 				q.Fail()
 				return
@@ -282,6 +331,9 @@ func (rs *RegionServer) write(p *sim.Proc, r *Region, key kv.Key, rec kv.Record,
 			if !peer.SendTo(q2, rs.Node, db.cfg.RequestOverhead) {
 				q.Fail()
 				return
+			}
+			if db.tracer != nil {
+				db.tracer.Phase(q2, trace.PhaseFanout, peer.ID, t0)
 			}
 			q.Succeed()
 		})
@@ -350,9 +402,16 @@ func (c *Client) Read(p *sim.Proc, key kv.Key, fields []string) (kv.Record, erro
 	if !c.node.SendTo(p, r.Server.Node, len(key)+c.db.cfg.RequestOverhead) {
 		return nil, kv.ErrUnavailable
 	}
-	r.Server.Node.Exec(p, c.db.cluster.Config.CPUOpCost)
+	c.db.execServer(p, r.Server.Node, c.db.cluster.Config.CPUOpCost)
+	var t0 sim.Time
+	if c.db.tracer != nil {
+		t0 = p.Now()
+	}
 	var rec kv.Record
 	row := r.engine.Get(p, key)
+	if c.db.tracer != nil {
+		c.db.tracer.Phase(p, trace.PhaseStorage, r.Server.Node.ID, t0)
+	}
 	if row != nil && row.Live() {
 		rec = row.Record().Project(fields)
 	}
@@ -417,10 +476,17 @@ func (c *Client) Scan(p *sim.Proc, start kv.Key, limit int, fields []string) ([]
 		if !c.node.SendTo(p, r.Server.Node, len(key)+c.db.cfg.RequestOverhead) {
 			return out, kv.ErrUnavailable
 		}
-		r.Server.Node.Exec(p, c.db.cluster.Config.CPUOpCost)
+		c.db.execServer(p, r.Server.Node, c.db.cluster.Config.CPUOpCost)
+		var t0 sim.Time
+		if c.db.tracer != nil {
+			t0 = p.Now()
+		}
 		rows := r.engine.Scan(p, key, limit-len(out))
 		if n := len(rows); n > 0 && c.db.cluster.Config.ScanRowCost > 0 {
 			r.Server.Node.Exec(p, time.Duration(n)*c.db.cluster.Config.ScanRowCost)
+		}
+		if c.db.tracer != nil {
+			c.db.tracer.Phase(p, trace.PhaseStorage, r.Server.Node.ID, t0)
 		}
 		resp := c.db.cfg.RequestOverhead
 		for _, row := range rows {

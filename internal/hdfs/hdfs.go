@@ -19,6 +19,7 @@ import (
 
 	"cloudbench/internal/cluster"
 	"cloudbench/internal/sim"
+	"cloudbench/internal/trace"
 )
 
 // Config parameterizes the filesystem.
@@ -51,6 +52,11 @@ type FS struct {
 
 	files   map[string]*File
 	nextBlk int64
+
+	// tracer, when non-nil, records one hdfs-phase span per pipeline hop.
+	//
+	//simlint:hook
+	tracer *trace.Tracer
 
 	// Metrics.
 	BlocksWritten int64
@@ -88,6 +94,10 @@ func New(k *sim.Kernel, cfg Config, nodes []*cluster.Node) *FS {
 
 // Replication returns the effective replication factor.
 func (fs *FS) Replication() int { return fs.cfg.Replication }
+
+// SetTracer installs (or, with nil, removes) the tracer observing pipeline
+// hops.
+func (fs *FS) SetTracer(t *trace.Tracer) { fs.tracer = t }
 
 // placeReplicas chooses replica nodes for one block: the writer first (if
 // it is a DataNode), then distinct random others — HDFS's default policy
@@ -160,6 +170,10 @@ func (fs *FS) writeBlockPipeline(p *sim.Proc, writer *cluster.Node, b *Block) {
 		done[i] = sim.NewFuture[struct{}](fs.k)
 		fs.k.Spawn(fmt.Sprintf("hdfs-pipe-%d-%d", b.ID, i), func(q *sim.Proc) {
 			defer done[i].Set(struct{}{})
+			if tr := fs.tracer; tr != nil {
+				t0 := q.Now()
+				defer func() { tr.Interval(q, trace.PhaseHDFS, dn.ID, t0, q.Now()) }()
+			}
 			// Pipeline fill: hop i starts after i store-and-forward hops.
 			q.Sleep(time.Duration(i) * fs.cfg.PipelineHop)
 			// Network leg prev→dn (skipped for the writer-local copy).

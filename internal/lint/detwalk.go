@@ -35,6 +35,7 @@ var simReachablePkgs = map[string]bool{
 	"cloudbench/internal/kv":          true,
 	"cloudbench/internal/consistency": true,
 	"cloudbench/internal/stats":       true,
+	"cloudbench/internal/trace":       true,
 }
 
 func simReachable(importPath string) bool { return simReachablePkgs[importPath] }

@@ -70,3 +70,58 @@ func (db *DB) suppressed(v int) {
 	//simlint:ignore hookguard sink is installed unconditionally by the only constructor
 	db.sink.Fn(v)
 }
+
+// Tracer mimics the request tracer: span-emitting call sites capture a
+// start timestamp in one nil-gated block and emit the span in another, so
+// each block needs its own guard.
+//
+//simlint:hook
+type Tracer struct{ spans int }
+
+func (t *Tracer) StartOp(at int) {
+	if t == nil {
+		return
+	}
+	t.spans++
+}
+
+func (t *Tracer) Phase(start int) {
+	if t == nil {
+		return
+	}
+	t.spans++
+}
+
+type Server struct {
+	tracer *Tracer
+}
+
+func work() int { return 0 }
+
+func (s *Server) spanEmit(now int) {
+	var t0 int
+	if s.tracer != nil {
+		s.tracer.StartOp(now)
+		t0 = now
+	}
+	_ = work()
+	if s.tracer != nil {
+		s.tracer.Phase(t0) // separately guarded emit: ok
+	}
+}
+
+func (s *Server) spanEmitUnguarded(now int) {
+	var t0 int
+	if s.tracer != nil {
+		t0 = now
+	}
+	s.tracer.Phase(t0) // want `nullable hook s\.tracer`
+}
+
+func (s *Server) deferredEmit(now int) {
+	if tr := s.tracer; tr != nil {
+		t0 := now
+		defer func() { tr.Phase(t0) }() // guard in scope at creation: ok
+	}
+	_ = work()
+}

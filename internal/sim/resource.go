@@ -90,6 +90,19 @@ func (r *Resource) Use(p *Proc, service Duration) {
 	r.served++
 }
 
+// UseTimed is Use, additionally returning the time p spent queued before
+// service began. The tracing layer uses it to split queueing delay from
+// service time without changing scheduling behavior.
+func (r *Resource) UseTimed(p *Proc, service Duration) Duration {
+	start := r.k.now
+	r.Acquire(p)
+	waited := r.k.now.Sub(start)
+	p.Sleep(service)
+	r.Release()
+	r.served++
+	return waited
+}
+
 // Utilization returns the mean fraction of capacity in use since the
 // resource was created.
 func (r *Resource) Utilization() float64 {

@@ -209,6 +209,12 @@ type Proc struct {
 	done   *Future[struct{}]
 	parked string // what the process is blocked on, for deadlock reports
 
+	// tctx is an opaque trace context (owned by internal/trace). It is
+	// inherited by processes this one spawns, so request attribution
+	// follows the causal spawn tree without the kernel knowing anything
+	// about tracing.
+	tctx any
+
 	// wake is the reusable "dispatch me" closure. Every park/unpark cycle
 	// schedules it, so allocating it once per process instead of once per
 	// event keeps Sleep and resource handoffs off the allocator.
@@ -233,6 +239,16 @@ func (p *Proc) Rand() *rand.Rand { return p.rng }
 // Done returns a future that completes when the process terminates.
 func (p *Proc) Done() *Future[struct{}] { return p.done }
 
+// TraceCtx returns the process's opaque trace context, nil when the
+// process is not attributed to any traced request.
+func (p *Proc) TraceCtx() any { return p.tctx }
+
+// SetTraceCtx replaces the process's trace context. Passing nil detaches
+// the process from its inherited request attribution — long-lived daemons
+// spawned from a request path (flushers, compactors, hint replayers) do
+// this so their work is not billed to the op that happened to start them.
+func (p *Proc) SetTraceCtx(ctx any) { p.tctx = ctx }
+
 // killedErr is the sentinel panic value used to unwind a killed process.
 type killedErr struct{ name string }
 
@@ -248,6 +264,9 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		name:   name,
 		resume: make(chan struct{}),
 		rng:    rand.New(rand.NewSource(procSeed(k.seed, k.procs))),
+	}
+	if k.current != nil {
+		p.tctx = k.current.tctx
 	}
 	p.wake = func() { k.dispatch(p) }
 	p.done = NewFuture[struct{}](k)

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"fmt"
+	"time"
+)
+
+// Breakdown aggregates observations into a fixed set of labeled lanes —
+// one log-linear Histogram per lane. It is the accumulator behind
+// per-phase latency decomposition: lanes are addressed by dense index so
+// the record path is pure array arithmetic, and two Breakdowns with the
+// same label set merge exactly (bucket-wise, so merge order never changes
+// a result).
+type Breakdown struct {
+	labels []string
+	lanes  []Histogram
+}
+
+// NewBreakdown returns a Breakdown with one empty lane per label.
+func NewBreakdown(labels ...string) *Breakdown {
+	b := &Breakdown{labels: append([]string(nil), labels...)}
+	b.lanes = make([]Histogram, len(b.labels))
+	return b
+}
+
+// Lanes returns the number of lanes.
+func (b *Breakdown) Lanes() int { return len(b.lanes) }
+
+// Label returns the label of lane i.
+func (b *Breakdown) Label(i int) string { return b.labels[i] }
+
+// Record adds one observation of d to lane i.
+func (b *Breakdown) Record(i int, d time.Duration) { b.lanes[i].Record(d) }
+
+// Lane returns the histogram backing lane i.
+func (b *Breakdown) Lane(i int) *Histogram { return &b.lanes[i] }
+
+// Total returns the summed duration across all lanes.
+func (b *Breakdown) Total() time.Duration {
+	var t time.Duration
+	for i := range b.lanes {
+		t += b.lanes[i].Sum()
+	}
+	return t
+}
+
+// Merge adds all observations from o into b. The label sets must match
+// exactly; merging is bucket-wise and therefore both associative and
+// commutative.
+func (b *Breakdown) Merge(o *Breakdown) error {
+	if len(o.labels) != len(b.labels) {
+		return fmt.Errorf("stats: merging breakdowns with %d vs %d lanes", len(b.labels), len(o.labels))
+	}
+	for i, l := range b.labels {
+		if o.labels[i] != l {
+			return fmt.Errorf("stats: lane %d label mismatch: %q vs %q", i, l, o.labels[i])
+		}
+	}
+	for i := range b.lanes {
+		b.lanes[i].Merge(&o.lanes[i])
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randomHistogram fills a histogram with n draws from a seeded source so
+// merge tests exercise many distinct buckets.
+func randomHistogram(seed int64, n int) *Histogram {
+	rng := rand.New(rand.NewSource(seed))
+	var h Histogram
+	for i := 0; i < n; i++ {
+		h.Record(time.Duration(rng.Int63n(80_000_000)))
+	}
+	return &h
+}
+
+// TestHistogramMergeCommutativeAssociative checks that merge is exact at
+// the bucket level: merge(A,B) == merge(B,A) and ((A,B),C) == (A,(B,C)),
+// compared field-for-field including every bucket count.
+func TestHistogramMergeCommutativeAssociative(t *testing.T) {
+	a := randomHistogram(1, 5000)
+	b := randomHistogram(2, 3000)
+	c := randomHistogram(3, 1)
+
+	ab := *a
+	ab.Merge(b)
+	ba := *b
+	ba.Merge(a)
+	if ab != ba {
+		t.Fatal("merge(A,B) != merge(B,A)")
+	}
+
+	abC := ab
+	abC.Merge(c)
+	bc := *b
+	bc.Merge(c)
+	aBC := *a
+	aBC.Merge(&bc)
+	if abC != aBC {
+		t.Fatal("merge(merge(A,B),C) != merge(A,merge(B,C))")
+	}
+	if abC.Count() != 8001 {
+		t.Fatalf("merged count = %d", abC.Count())
+	}
+}
+
+// TestHistogramPercentileInterpolates pins the satellite fix: quantiles
+// inside a single wide bucket must move with p rather than all snapping
+// to the bucket midpoint.
+func TestHistogramPercentileInterpolates(t *testing.T) {
+	var h Histogram
+	lo := int64(1) << 20 // bucket width here is 2^15
+	for k := int64(0); k < 32; k++ {
+		h.Record(time.Duration(lo + k*1024))
+	}
+	p10, p50, p90 := h.Percentile(10), h.Percentile(50), h.Percentile(90)
+	if !(p10 < p50 && p50 < p90) {
+		t.Fatalf("percentiles do not increase through the bucket: p10=%v p50=%v p90=%v", p10, p50, p90)
+	}
+	if p10 < h.Min() || p90 > h.Max() {
+		t.Fatalf("percentiles escape [min,max]: p10=%v p90=%v min=%v max=%v", p10, p90, h.Min(), h.Max())
+	}
+}
+
+func TestBreakdownRecordAndTotal(t *testing.T) {
+	b := NewBreakdown("alpha", "beta")
+	b.Record(0, 2*time.Millisecond)
+	b.Record(0, 4*time.Millisecond)
+	b.Record(1, 10*time.Millisecond)
+	if b.Lanes() != 2 || b.Label(1) != "beta" {
+		t.Fatalf("lanes/labels wrong: %d %q", b.Lanes(), b.Label(1))
+	}
+	if got := b.Lane(0).Count(); got != 2 {
+		t.Fatalf("lane 0 count = %d", got)
+	}
+	if b.Total() != 16*time.Millisecond {
+		t.Fatalf("total = %v", b.Total())
+	}
+}
+
+func TestBreakdownMergeExactAndOrderFree(t *testing.T) {
+	mk := func(seed int64) *Breakdown {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBreakdown("x", "y", "z")
+		for i := 0; i < 2000; i++ {
+			b.Record(rng.Intn(3), time.Duration(rng.Int63n(10_000_000)))
+		}
+		return b
+	}
+	a, b := mk(11), mk(12)
+	ab, ba := mk(11), mk(12)
+	if err := ab.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ab.Lanes(); i++ {
+		if *ab.Lane(i) != *ba.Lane(i) {
+			t.Fatalf("lane %d differs between merge orders", i)
+		}
+	}
+	if err := ab.Merge(NewBreakdown("x", "y")); err == nil {
+		t.Fatal("lane-count mismatch not rejected")
+	}
+	if err := ab.Merge(NewBreakdown("x", "y", "w")); err == nil {
+		t.Fatal("label mismatch not rejected")
+	}
+}

@@ -45,16 +45,14 @@ func slotFor(v int64) int {
 	return slot
 }
 
-// slotMid returns a representative (midpoint) value for a bucket index.
-func slotMid(slot int) int64 {
+// slotBounds returns the inclusive lower bound and width of a bucket.
+func slotBounds(slot int) (lo, width int64) {
 	if slot < subBuckets {
-		return int64(slot)
+		return int64(slot), 1
 	}
 	octave := slot / subBuckets
 	sub := int64(slot % subBuckets)
-	base := (int64(subBuckets) + sub) << (octave - 1)
-	width := int64(1) << (octave - 1)
-	return base + width/2
+	return (int64(subBuckets) + sub) << (octave - 1), int64(1) << (octave - 1)
 }
 
 // Record adds one observation of d.
@@ -94,8 +92,11 @@ func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
 // Sum returns the sum of all recorded observations.
 func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum) }
 
-// Percentile returns the value at quantile p in [0,100]. It returns 0 for an
-// empty histogram.
+// Percentile returns the value at quantile p in [0,100]. The fractional
+// rank is located by cumulative count and interpolated linearly within
+// its bucket, so estimates move smoothly with p instead of snapping to
+// bucket midpoints; results are clamped to the observed [min, max]. It
+// returns 0 for an empty histogram.
 func (h *Histogram) Percentile(p float64) time.Duration {
 	if h.count == 0 {
 		return 0
@@ -106,19 +107,28 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	if p > 100 {
 		p = 100
 	}
-	rank := int64(p/100*float64(h.count) + 0.5)
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > h.count {
-		rank = h.count
+	target := p / 100 * float64(h.count)
+	if target < 1 {
+		target = 1
 	}
 	var seen int64
 	for i, c := range h.counts {
-		seen += c
-		if seen >= rank {
-			return time.Duration(slotMid(i))
+		if c == 0 {
+			continue
 		}
+		if float64(seen+c) >= target {
+			lo, width := slotBounds(i)
+			f := (target - float64(seen)) / float64(c)
+			v := lo + int64(f*float64(width))
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+		seen += c
 	}
 	return time.Duration(h.max)
 }

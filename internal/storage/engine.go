@@ -54,6 +54,13 @@ type Engine struct {
 	nextTableID int64
 	compacting  bool
 
+	// OnWALSync, when non-nil, observes each synchronous WAL append with
+	// the virtual time it began — the tracing layer's WAL-phase hook.
+	// Async appends are off the ack path and are not reported.
+	//
+	//simlint:hook
+	OnWALSync func(p *sim.Proc, start sim.Time)
+
 	// Metrics.
 	Puts, Gets, Scans    int64
 	Flushes, Compactions int64
@@ -89,26 +96,34 @@ func (e *Engine) Tables() int { return len(e.tables) }
 func (e *Engine) Apply(p *sim.Proc, key kv.Key, rec kv.Record, ver kv.Version) {
 	e.Puts++
 	size := rec.Bytes() + len(key) + 16
-	if e.cfg.SyncWAL {
-		e.wal.Append(p, size)
-	} else {
-		e.wal.AppendAsync(size)
-	}
+	e.walAppend(p, size)
 	row := e.mem.GetOrCreate(key)
 	row.Apply(rec, ver)
 	e.memBytes += int64(size)
 	e.maybeFlush()
 }
 
+// walAppend logs size bytes, blocking until durable when SyncWAL is set
+// and reporting the sync through the OnWALSync hook.
+func (e *Engine) walAppend(p *sim.Proc, size int) {
+	if !e.cfg.SyncWAL {
+		e.wal.AppendAsync(size)
+		return
+	}
+	if e.OnWALSync != nil {
+		start := p.Now()
+		e.wal.Append(p, size)
+		e.OnWALSync(p, start)
+		return
+	}
+	e.wal.Append(p, size)
+}
+
 // ApplyDelete writes a tombstone at key.
 func (e *Engine) ApplyDelete(p *sim.Proc, key kv.Key, ver kv.Version) {
 	e.Puts++
 	size := len(key) + 24
-	if e.cfg.SyncWAL {
-		e.wal.Append(p, size)
-	} else {
-		e.wal.AppendAsync(size)
-	}
+	e.walAppend(p, size)
 	row := e.mem.GetOrCreate(key)
 	row.Delete(ver)
 	e.memBytes += int64(size)
@@ -221,7 +236,10 @@ func (e *Engine) ForceFlush() {
 	e.imm = append([]*skiplist{snap}, e.imm...)
 	e.mem = newSkiplist(e.rng)
 	e.memBytes = 0
-	e.k.Spawn("flush", func(p *sim.Proc) { e.flush(p, snap) })
+	// Flushes are spawned from whatever request filled the memtable;
+	// detach the inherited trace context so flush work (including HDFS
+	// pipeline writes) bills to the background class, not to that op.
+	e.k.Spawn("flush", func(p *sim.Proc) { p.SetTraceCtx(nil); e.flush(p, snap) })
 }
 
 func (e *Engine) flush(p *sim.Proc, snap *skiplist) {
@@ -280,7 +298,8 @@ func (e *Engine) maybeCompact() {
 		if len(group) >= e.cfg.CompactMinTables {
 			e.compacting = true
 			inputs := group
-			e.k.Spawn("compact", func(p *sim.Proc) { e.compact(p, inputs) })
+			// Same detach as flush: compaction is background work.
+			e.k.Spawn("compact", func(p *sim.Proc) { p.SetTraceCtx(nil); e.compact(p, inputs) })
 			return
 		}
 	}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// chromeEvent is one complete ("ph":"X") event in the Chrome trace-event
+// JSON format, loadable in chrome://tracing or Perfetto. Timestamps and
+// durations are microseconds of virtual time.
+type chromeEvent struct {
+	Name string     `json:"name"`
+	Cat  string     `json:"cat"`
+	Ph   string     `json:"ph"`
+	Ts   float64    `json:"ts"`
+	Dur  float64    `json:"dur"`
+	Pid  int        `json:"pid"`
+	Tid  int64      `json:"tid"`
+	Args chromeArgs `json:"args"`
+}
+
+type chromeArgs struct {
+	Span   string `json:"span"`
+	Parent string `json:"parent,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome writes spans as Chrome trace-event JSON. Root spans are
+// named by op class under the "op" category; phase spans by phase name
+// under "phase". pid is the cluster node plus one (0 = client/unknown)
+// and tid the sim process id, so a trace viewer groups spans by node and
+// lays concurrent processes out as separate tracks.
+func WriteChrome(w io.Writer, spans []Span) error {
+	f := chromeFile{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayUnit: "ms"}
+	for _, s := range spans {
+		ev := chromeEvent{
+			Cat:  "phase",
+			Name: s.Phase.String(),
+			Ph:   "X",
+			Ts:   float64(s.Start) / 1e3,
+			Dur:  float64(s.End-s.Start) / 1e3,
+			Pid:  s.Node + 1,
+			Tid:  s.Proc,
+			Args: chromeArgs{Span: strconv.FormatUint(s.ID, 16)},
+		}
+		if s.Root {
+			ev.Cat = "op"
+			ev.Name = s.Class.String()
+		} else if s.Parent != 0 {
+			ev.Args.Parent = strconv.FormatUint(s.Parent, 16)
+		}
+		f.TraceEvents = append(f.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}

@@ -7,6 +7,7 @@ import (
 	"cloudbench/internal/kv"
 	"cloudbench/internal/sim"
 	"cloudbench/internal/stats"
+	"cloudbench/internal/trace"
 )
 
 // RunConfig controls one benchmark run phase.
@@ -27,6 +28,12 @@ type RunConfig struct {
 	// window with its own (BeginMeasure when warmup ends) and snapshots
 	// the report into Result.Consistency.
 	Oracle *consistency.Oracle
+	// Tracer, when non-nil, is the request tracer already attached to the
+	// database under test. The runner opens a root span per operation and
+	// aligns the tracer's measurement window with its own.
+	//
+	//simlint:hook
+	Tracer *trace.Tracer
 	// Events fire mid-run by operation progress: each Fn runs exactly
 	// once, in simulation context, when the completed-operation count
 	// reaches AfterOps. Entries must be in ascending AfterOps order.
@@ -144,6 +151,9 @@ func Run(driver *sim.Proc, newClient ClientFactory, w *Workload, cfg RunConfig) 
 		if cfg.Oracle != nil {
 			cfg.Oracle.BeginMeasure(start)
 		}
+		if cfg.Tracer != nil {
+			cfg.Tracer.BeginMeasure(start)
+		}
 	}
 
 	var interval time.Duration
@@ -181,7 +191,13 @@ func Run(driver *sim.Proc, newClient ClientFactory, w *Workload, cfg RunConfig) 
 				}
 				op := w.NextOp(p.Rand())
 				opStart := p.Now()
+				if cfg.Tracer != nil {
+					cfg.Tracer.StartOp(p, classOf(op.Type))
+				}
 				err := execute(p, cl, op)
+				if cfg.Tracer != nil {
+					cfg.Tracer.EndOp(p)
+				}
 				end := p.Now()
 				w.Ack(op)
 				lat := end.Sub(opStart)
@@ -197,6 +213,9 @@ func Run(driver *sim.Proc, newClient ClientFactory, w *Workload, cfg RunConfig) 
 					measureStart = p.Now()
 					if cfg.Oracle != nil {
 						cfg.Oracle.BeginMeasure(measureStart)
+					}
+					if cfg.Tracer != nil {
+						cfg.Tracer.BeginMeasure(measureStart)
 					}
 				} else if measuring {
 					res.MeasuredOps++
@@ -231,6 +250,24 @@ func Run(driver *sim.Proc, newClient ClientFactory, w *Workload, cfg RunConfig) 
 // racing reads manifest). It runs once per YCSB operation — millions of
 // times per sweep cell — hence the hotpath marker.
 //
+// classOf maps an operation type to its trace class.
+func classOf(t OpType) trace.OpClass {
+	switch t {
+	case OpRead:
+		return trace.ClassRead
+	case OpUpdate:
+		return trace.ClassUpdate
+	case OpInsert:
+		return trace.ClassInsert
+	case OpScan:
+		return trace.ClassScan
+	case OpReadModifyWrite:
+		return trace.ClassReadModifyWrite
+	default:
+		return trace.ClassBackground
+	}
+}
+
 //simlint:hotpath
 func execute(p *sim.Proc, cl kv.Client, op Op) error {
 	switch op.Type {
