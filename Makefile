@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint vet trace
+.PHONY: all build test race bench bench-kernel lint vet trace
 
 all: build lint test
 
@@ -20,6 +20,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' -short -timeout 15m ./...
+
+# Kernel hot-path benchmarks (scheduler, spawn churn, queue cycle) at
+# stable iteration counts, archived as a JSON artifact (see DESIGN.md §9).
+bench-kernel:
+	$(GO) test -bench='KernelSleep|KernelScheduleWheel|SpawnChurn|QueueRing' \
+		-benchmem -benchtime=20x -run='^$$' ./internal/sim . \
+		| $(GO) run ./cmd/benchjson -o BENCH_kernel.json
+	@cat BENCH_kernel.json
 
 vet:
 	$(GO) vet ./...

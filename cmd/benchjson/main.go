@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON artifact so CI can archive kernel performance per commit:
+//
+//	go test -bench='Kernel|Spawn|Queue' -benchmem ./internal/sim | \
+//	    go run ./cmd/benchjson -o BENCH_kernel.json
+//
+// The output maps each benchmark name (with the -N GOMAXPROCS suffix
+// stripped) to its metrics:
+//
+//	{
+//	  "BenchmarkKernelScheduleWheel100k": {
+//	    "iterations": 120, "ns_op": 412345.0, "b_op": 0, "allocs_op": 0
+//	  },
+//	  ...
+//	}
+//
+// b_op and allocs_op are -1 when the run did not use -benchmem. Lines that
+// are not benchmark results (test output, PASS, ok) are ignored, so the raw
+// `go test` stream can be piped in unfiltered. A benchmark that appears
+// more than once (e.g. -count>1) keeps the last result.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result holds the parsed metrics for one benchmark.
+type Result struct {
+	Iterations int64   `json:"iterations"`
+	NsOp       float64 `json:"ns_op"`
+	BOp        int64   `json:"b_op"`
+	AllocsOp   int64   `json:"allocs_op"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+// Parse reads `go test -bench` output and returns name → result. The
+// GOMAXPROCS suffix (Benchmark...-8) is stripped so artifacts compare
+// across machines with different core counts.
+func Parse(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %v", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %v", sc.Text(), err)
+		}
+		res := Result{Iterations: iters, NsOp: ns, BOp: -1, AllocsOp: -1}
+		// -benchmem appends "N B/op  M allocs/op": values precede units.
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i++ {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				res.BOp = v
+			case "allocs/op":
+				res.AllocsOp = v
+			}
+		}
+		out[name] = res
+	}
+	return out, sc.Err()
+}
+
+func run(in io.Reader, out io.Writer) error {
+	results, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchjson: no benchmark results found in input")
+	}
+	// encoding/json sorts map keys, so the artifact diffs cleanly run to
+	// run; the trailing newline keeps it POSIX-text.
+	b, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(out, "%s\n", b)
+	return err
+}
+
+func main() {
+	outPath := flag.String("o", "", "write JSON to this file instead of stdout")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := run(os.Stdin, w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

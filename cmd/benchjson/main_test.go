@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: cloudbench/internal/sim
+cpu: AMD EPYC 7B13
+BenchmarkKernelSleep-8             	    2742	    439881 ns/op	       0 B/op	       0 allocs/op
+BenchmarkKernelScheduleWheel100k-8 	     100	    412345.5 ns/op	       3 B/op	       0 allocs/op
+BenchmarkSpawnChurn-8              	    5000	    222746 ns/op	       1 B/op	       0 allocs/op
+BenchmarkNoMem-8                   	  100000	      1234 ns/op
+some test chatter that should be ignored
+PASS
+ok  	cloudbench/internal/sim	12.3s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Result{
+		"BenchmarkKernelSleep":             {Iterations: 2742, NsOp: 439881, BOp: 0, AllocsOp: 0},
+		"BenchmarkKernelScheduleWheel100k": {Iterations: 100, NsOp: 412345.5, BOp: 3, AllocsOp: 0},
+		"BenchmarkSpawnChurn":              {Iterations: 5000, NsOp: 222746, BOp: 1, AllocsOp: 0},
+		"BenchmarkNoMem":                   {Iterations: 100000, NsOp: 1234, BOp: -1, AllocsOp: -1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d results, want %d: %v", len(got), len(want), got)
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s = %+v, want %+v", name, got[name], w)
+		}
+	}
+}
+
+func TestParseStripsGOMAXPROCSSuffixOnly(t *testing.T) {
+	in := "BenchmarkKernelScheduleWheel1k-16 	 100 	 500 ns/op\n"
+	got, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["BenchmarkKernelScheduleWheel1k"]; !ok {
+		t.Fatalf("suffix not stripped: %v", got)
+	}
+}
+
+func TestParseSubBenchmarkNames(t *testing.T) {
+	// Sub-benchmark names can contain slashes and their own dashes; only a
+	// trailing numeric -N is the GOMAXPROCS suffix.
+	in := "BenchmarkX/depth=100k-8 	 10 	 99.5 ns/op 	 0 B/op 	 0 allocs/op\n"
+	got, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got["BenchmarkX/depth=100k"]
+	if !ok {
+		t.Fatalf("missing sub-benchmark key: %v", got)
+	}
+	if r.NsOp != 99.5 || r.AllocsOp != 0 {
+		t.Fatalf("r = %+v", r)
+	}
+}
+
+func TestRunEmitsSortedJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]Result
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(decoded) != 4 {
+		t.Fatalf("decoded %d entries, want 4", len(decoded))
+	}
+	if !strings.HasSuffix(out.String(), "\n") {
+		t.Fatal("artifact must end with a newline")
+	}
+	// Keys must appear in sorted order for clean diffs.
+	i1 := strings.Index(out.String(), "BenchmarkKernelScheduleWheel100k")
+	i2 := strings.Index(out.String(), "BenchmarkKernelSleep")
+	i3 := strings.Index(out.String(), "BenchmarkSpawnChurn")
+	if !(i1 < i2 && i2 < i3) {
+		t.Fatalf("keys not sorted: %s", out.String())
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("PASS\nok x 1s\n"), &out); err == nil {
+		t.Fatal("expected error on input with no benchmark lines")
+	}
+}

@@ -340,7 +340,7 @@ func (db *DB) write(p *sim.Proc, coord *Replica, key kv.Key, rec kv.Record, del 
 		if rep == coord {
 			// Local apply still runs concurrently so a slow local
 			// commit-log append does not serialize the fan-out.
-			db.k.Spawn("c*-local-write", func(q2 *sim.Proc) {
+			db.k.Go("c*-local-write", func(q2 *sim.Proc) {
 				rep.applyLocal(q2, db, key, rec, del, ver, consistency.ApplyWrite)
 				if counts(rep) {
 					q.Succeed()
@@ -348,7 +348,7 @@ func (db *DB) write(p *sim.Proc, coord *Replica, key kv.Key, rec kv.Record, del 
 			})
 			continue
 		}
-		db.k.Spawn("c*-repl-write", func(q2 *sim.Proc) {
+		db.k.Go("c*-repl-write", func(q2 *sim.Proc) {
 			var t0 sim.Time
 			if db.tracer != nil {
 				t0 = q2.Now()
@@ -408,7 +408,7 @@ type readResponse struct {
 // fetchRow reads the full row from rep on behalf of a spawned process,
 // returning the response through f.
 func (db *DB) fetchRow(coord, rep *Replica, key kv.Key, digestOnly bool, f *sim.Future[readResponse], repair bool) {
-	db.k.Spawn("c*-read", func(q *sim.Proc) {
+	db.k.Go("c*-read", func(q *sim.Proc) {
 		// A background-repair refetch bills its whole leg — request,
 		// replica service, response — as one read-repair span; the leg's
 		// fanout and storage sub-phases are muted so they are not
@@ -591,7 +591,7 @@ func (db *DB) read(p *sim.Proc, coord *Replica, key kv.Key, cl kv.ConsistencyLev
 		// records its own read-repair span (the legs are concurrent, so
 		// per-leg billing — not one wall-clock span across them — is
 		// what scales the recorded bill with RF−1).
-		db.k.Spawn("c*-bg-repair", func(q *sim.Proc) {
+		db.k.Go("c*-bg-repair", func(q *sim.Proc) {
 			db.repairRest(q, coord, key, rest, known)
 		})
 	}
@@ -703,7 +703,7 @@ func (db *DB) writeRepairs(p *sim.Proc, coord *Replica, key kv.Key, merged *stor
 	for _, rep := range stale {
 		rep := rep
 		db.RepairWrites++
-		db.k.Spawn("c*-repair-write", func(q2 *sim.Proc) {
+		db.k.Go("c*-repair-write", func(q2 *sim.Proc) {
 			defer q.Succeed()
 			// Bill the repair write as a read-repair leg. Under a
 			// blocking repair the caller already muted the context and
@@ -774,7 +774,7 @@ func (db *DB) scan(p *sim.Proc, coord *Replica, start kv.Key, limit int) []stora
 		rep := rep
 		f := sim.NewFuture[scanPart](db.k)
 		futs = append(futs, f)
-		db.k.Spawn("c*-scan", func(q *sim.Proc) {
+		db.k.Go("c*-scan", func(q *sim.Proc) {
 			part := scanPart{}
 			reqSize := len(start) + db.cfg.RequestOverhead
 			if rep != coord {
@@ -868,7 +868,7 @@ func (db *DB) noteHint(coord *Replica, h hint) {
 	db.HintsStored++
 	if !db.hintProcLive {
 		db.hintProcLive = true
-		db.k.Spawn("hint-replayer", db.hintReplayLoop)
+		db.k.Go("hint-replayer", db.hintReplayLoop)
 	}
 }
 

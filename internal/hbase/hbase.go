@@ -270,7 +270,7 @@ func (rs *RegionServer) write(p *sim.Proc, r *Region, key kv.Key, rec kv.Record,
 		for _, peer := range rs.memPeers {
 			peer := peer
 			db.ReplicationSends++
-			db.k.Spawn("hbase-memrepl", func(q2 *sim.Proc) {
+			db.k.Go("hbase-memrepl", func(q2 *sim.Proc) {
 				var t0 sim.Time
 				if db.tracer != nil {
 					t0 = q2.Now()
@@ -317,7 +317,7 @@ func (rs *RegionServer) write(p *sim.Proc, r *Region, key kv.Key, rec kv.Record,
 	for _, peer := range rs.memPeers {
 		peer := peer
 		db.ReplicationSends++
-		db.k.Spawn("hbase-syncrepl", func(q2 *sim.Proc) {
+		db.k.Go("hbase-syncrepl", func(q2 *sim.Proc) {
 			var t0 sim.Time
 			if db.tracer != nil {
 				t0 = q2.Now()

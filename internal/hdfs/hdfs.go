@@ -13,7 +13,6 @@ package hdfs
 
 import (
 	"errors"
-	"fmt"
 	"sort"
 	"time"
 
@@ -168,7 +167,7 @@ func (fs *FS) writeBlockPipeline(p *sim.Proc, writer *cluster.Node, b *Block) {
 	for i, dn := range b.Replicas {
 		i, dn, prev := i, dn, prev
 		done[i] = sim.NewFuture[struct{}](fs.k)
-		fs.k.Spawn(fmt.Sprintf("hdfs-pipe-%d-%d", b.ID, i), func(q *sim.Proc) {
+		fs.k.Go("hdfs-pipe", func(q *sim.Proc) {
 			defer done[i].Set(struct{}{})
 			if tr := fs.tracer; tr != nil {
 				t0 := q.Now()

@@ -15,6 +15,11 @@ import (
 // traceable, through local assignments, to an identifier, field, or
 // function whose name mentions "seed" (Options.Seed, a seed parameter,
 // procSeed, splitmix64).
+//
+// The sim kernel's small-state Source is part of the same invariant: a
+// *sim.Source value (or a sim.NewSource(...) call) is accepted as valid
+// provenance for rand.New, because every sim.NewSource and Source.Reseed
+// call site is itself checked for a seed-traceable argument.
 var Seedflow = &Analyzer{
 	Name:      "seedflow",
 	Doc:       "rand.New sources must be traceable to a seed parameter or Options.Seed-style field",
@@ -36,17 +41,49 @@ func runSeedflow(pass *Pass) error {
 					return true
 				}
 				obj := funcObj(pass.TypesInfo, call)
-				if !isPkgFunc(obj, "math/rand", "New") && !isPkgFunc(obj, "math/rand/v2", "New") {
-					return true
-				}
-				if len(call.Args) == 1 && !seedTraceable(pass, call.Args[0], assigns, make(map[types.Object]bool)) {
-					pass.Reportf(call.Pos(), "rand.New source is not derived from a seed; thread Options.Seed or a seed parameter through the constructor")
+				switch {
+				case isPkgFunc(obj, "math/rand", "New") || isPkgFunc(obj, "math/rand/v2", "New"):
+					if len(call.Args) == 1 && !seedTraceable(pass, call.Args[0], assigns, make(map[types.Object]bool)) {
+						pass.Reportf(call.Pos(), "rand.New source is not derived from a seed; thread Options.Seed or a seed parameter through the constructor")
+					}
+				case isSimSourceFunc(obj, "NewSource"):
+					if len(call.Args) == 1 && !seedTraceable(pass, call.Args[0], assigns, make(map[types.Object]bool)) {
+						pass.Reportf(call.Pos(), "sim.NewSource seed is not derived from the experiment seed; thread Options.Seed or a seed parameter through the constructor")
+					}
+				case isSimSourceFunc(obj, "Reseed"):
+					if len(call.Args) == 1 && !seedTraceable(pass, call.Args[0], assigns, make(map[types.Object]bool)) {
+						pass.Reportf(call.Pos(), "Source.Reseed seed is not derived from the experiment seed; derive it from the kernel seed (procSeed) or Options.Seed")
+					}
 				}
 				return true
 			})
 		}
 	}
 	return nil
+}
+
+// isSimSourceFunc reports whether obj is the sim kernel's Source
+// constructor or reseed method. Matching is by package name rather than
+// import path so the golden-test stub package exercises the same code.
+func isSimSourceFunc(fn *types.Func, name string) bool {
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Name() == "sim"
+}
+
+// isSimSourceType reports whether t is (a pointer to) the sim kernel's
+// Source type, which carries seed provenance by construction.
+func isSimSourceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Source" && obj.Pkg() != nil && obj.Pkg().Name() == "sim"
 }
 
 // collectAssignments maps each local variable to the expressions assigned
@@ -95,8 +132,15 @@ func seedTraceable(pass *Pass, e ast.Expr, assigns map[types.Object][]ast.Expr, 
 			return false
 		}
 		switch n := n.(type) {
+		case *ast.CallExpr:
+			// A sim.NewSource(...) result is seed-derived by construction:
+			// the constructor's own argument is checked at its call site.
+			if isSimSourceFunc(funcObj(pass.TypesInfo, n), "NewSource") {
+				found = true
+				return false
+			}
 		case *ast.Ident:
-			if seedName(n.Name) {
+			if seedName(n.Name) || isSimSourceType(pass.TypesInfo.TypeOf(n)) {
 				found = true
 				return false
 			}
@@ -114,7 +158,7 @@ func seedTraceable(pass *Pass, e ast.Expr, assigns map[types.Object][]ast.Expr, 
 				}
 			}
 		case *ast.SelectorExpr:
-			if seedName(n.Sel.Name) {
+			if seedName(n.Sel.Name) || isSimSourceType(pass.TypesInfo.TypeOf(n)) {
 				found = true
 				return false
 			}

@@ -4,6 +4,8 @@ package seedflow
 import (
 	"math/rand"
 	"time"
+
+	"cloudbench/internal/lint/testdata/src/seedflow/sim"
 )
 
 type Options struct{ Seed int64 }
@@ -45,4 +47,31 @@ func throughUntraceableLocal() *rand.Rand {
 func suppressed() *rand.Rand {
 	//simlint:ignore seedflow demo stream, reproducibility deliberately not required
 	return rand.New(rand.NewSource(777))
+}
+
+func fromSimSource(o Options) *rand.Rand {
+	src := sim.NewSource(uint64(o.Seed))
+	return rand.New(src) // ok: sim.NewSource result carries seed provenance
+}
+
+type procLike struct{ src *sim.Source }
+
+func fromSimSourceField(p *procLike) *rand.Rand {
+	return rand.New(p.src) // ok: *sim.Source is seed-derived by construction
+}
+
+func simSourceFromConstant() *sim.Source {
+	return sim.NewSource(42) // want `sim\.NewSource seed is not derived from the experiment seed`
+}
+
+func simSourceFromWallClock() *sim.Source {
+	return sim.NewSource(uint64(time.Now().UnixNano())) // want `sim\.NewSource seed is not derived from the experiment seed`
+}
+
+func reseedFromConstant(p *procLike) {
+	p.src.Reseed(1234) // want `Source\.Reseed seed is not derived from the experiment seed`
+}
+
+func reseedFromDerived(p *procLike, seed uint64, id int64) {
+	p.src.Reseed(seed + uint64(id)*0x9e3779b97f4a7c15) // ok: seed parameter
 }

@@ -1,0 +1,27 @@
+// Package sim is a minimal stub of the real sim kernel's Source type for
+// seedflow golden tests. The analyzer matches it by package name, so the
+// stub exercises the same recognition paths as the real package without
+// the testdata module depending on the kernel.
+package sim
+
+// Source mirrors cloudbench/internal/sim.Source's shape.
+type Source struct{ s [4]uint64 }
+
+// NewSource mirrors the real seed-derived constructor.
+func NewSource(seed uint64) *Source {
+	src := &Source{}
+	src.Reseed(seed)
+	return src
+}
+
+// Reseed mirrors the real reset-to-stream method.
+func (s *Source) Reseed(seed uint64) { s.s[0] = seed ^ 0x9e3779b97f4a7c15 }
+
+// Uint64 implements rand.Source64.
+func (s *Source) Uint64() uint64 { s.s[0] += 0x9e3779b97f4a7c15; return s.s[0] }
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed implements rand.Source.
+func (s *Source) Seed(seed int64) { s.Reseed(uint64(seed)) }

@@ -1,0 +1,99 @@
+package sim_test
+
+import (
+	"testing"
+
+	"cloudbench/internal/sim"
+)
+
+// benchScheduleWheel measures per-event dispatch cost with `depth` pending
+// far-future timers as ballast. With the old binary heap every push/pop
+// paid O(log depth) comparisons through interface dispatch; the timing
+// wheel keeps the sleeper wake/sleep cycle O(1) regardless of how much is
+// pending behind it.
+func benchScheduleWheel(b *testing.B, depth int) {
+	k := sim.NewKernel(1)
+	// Ballast: `depth` pending timers spread far in the future so they
+	// stay queued for the whole measurement.
+	base := sim.Duration(1_000_000_000) // 1s
+	for i := 0; i < depth; i++ {
+		k.After(base+sim.Duration(i)*1000, func() {})
+	}
+	stop := false
+	for i := 0; i < 16; i++ {
+		k.Spawn("sleeper", func(p *sim.Proc) {
+			for !stop {
+				p.Sleep(25)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k.RunUntil(sim.Time((i + 1) * 1_000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stop = true
+	b.StopTimer()
+}
+
+func BenchmarkKernelScheduleWheel1k(b *testing.B)   { benchScheduleWheel(b, 1_000) }
+func BenchmarkKernelScheduleWheel100k(b *testing.B) { benchScheduleWheel(b, 100_000) }
+func BenchmarkKernelScheduleWheel1M(b *testing.B)   { benchScheduleWheel(b, 1_000_000) }
+
+// BenchmarkSpawnChurn measures a fan-out storm of short-lived detached
+// processes — the replica-write/read-fan pattern of the database models.
+// With pooled workers and Procs (Kernel.Go) this is allocation-free at
+// steady state.
+func BenchmarkSpawnChurn(b *testing.B) {
+	k := sim.NewKernel(1)
+	stop := false
+	k.Spawn("driver", func(p *sim.Proc) {
+		for !stop {
+			for i := 0; i < 8; i++ {
+				k.Go("w", func(q *sim.Proc) { q.Sleep(10) })
+			}
+			p.Sleep(10)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k.RunUntil(sim.Time((i + 1) * 100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stop = true
+	b.StopTimer()
+}
+
+// BenchmarkQueueRing measures the producer/consumer hot cycle through
+// Queue's ring buffers: a pusher feeding a popping server process.
+func BenchmarkQueueRing(b *testing.B) {
+	k := sim.NewKernel(1)
+	q := sim.NewQueue[int](k)
+	stop := false
+	k.Spawn("producer", func(p *sim.Proc) {
+		for !stop {
+			for i := 0; i < 4; i++ {
+				q.Push(i)
+			}
+			p.Sleep(5)
+		}
+	})
+	k.Spawn("consumer", func(p *sim.Proc) {
+		for !stop {
+			q.Pop(p)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k.RunUntil(sim.Time((i + 1) * 100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stop = true
+	b.StopTimer()
+}

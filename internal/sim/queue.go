@@ -4,10 +4,13 @@ package sim
 // from kernel context (e.g. an OnDone callback); Pop blocks the calling
 // process until an item is available. It is the standard way to feed a
 // server process.
+//
+// Items and waiters live in growable ring buffers: the hot Push/Pop cycle
+// of a loaded server process is allocation-free at steady state.
 type Queue[T any] struct {
 	k       *Kernel
-	items   []T
-	waiters []*Proc
+	items   ring[T]
+	waiters ring[*Proc]
 	pushed  int64
 }
 
@@ -17,51 +20,70 @@ func NewQueue[T any](k *Kernel) *Queue[T] {
 }
 
 // Len returns the number of buffered items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.items.len() }
 
 // Pushed returns the total number of items ever pushed.
 func (q *Queue[T]) Pushed() int64 { return q.pushed }
 
 // Push appends v and wakes one waiting process, if any.
+//
+//simlint:hotpath
 func (q *Queue[T]) Push(v T) {
-	q.items = append(q.items, v)
+	q.items.push(v)
 	q.pushed++
-	if len(q.waiters) > 0 {
-		p := q.waiters[0]
-		q.waiters = q.waiters[1:]
+	if q.waiters.len() > 0 {
+		p := q.waiters.pop()
 		q.k.noteRunnable(p)
 		q.k.schedule(q.k.now, p.wake)
 	}
 }
 
 // Pop blocks p until an item is available and removes and returns it.
+//
+//simlint:hotpath
 func (q *Queue[T]) Pop(p *Proc) T {
-	for len(q.items) == 0 {
-		q.waiters = append(q.waiters, p)
+	for q.items.len() == 0 {
+		q.waiters.push(p)
 		q.k.noteWaiting(p)
+		// If p is killed while parked here, the wake that was aimed at it
+		// must chain to another waiter so buffered items are not stranded;
+		// see killedUnwind.
+		p.unwind = q
 		p.park("queue")
+		p.unwind = nil
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
+	v := q.items.pop()
 	// If items remain and more waiters are parked, keep the chain going:
 	// a single Push wakes one waiter, but a waiter woken spuriously after
 	// another consumer raced it must not strand buffered items.
-	if len(q.items) > 0 && len(q.waiters) > 0 {
-		next := q.waiters[0]
-		q.waiters = q.waiters[1:]
+	q.wakeNext()
+	return v
+}
+
+// wakeNext continues the wake chain when buffered items and parked waiters
+// coexist.
+//
+//simlint:hotpath
+func (q *Queue[T]) wakeNext() {
+	if q.items.len() > 0 && q.waiters.len() > 0 {
+		next := q.waiters.pop()
 		q.k.noteRunnable(next)
 		q.k.schedule(q.k.now, next.wake)
 	}
-	return v
+}
+
+// killedUnwind re-homes the wake that a killed process absorbed: the dead
+// process was woken to consume an item it will never take, so pass the
+// baton to the next waiter if items are available.
+func (q *Queue[T]) killedUnwind(*Proc) {
+	q.wakeNext()
 }
 
 // TryPop removes and returns the head item without blocking. ok reports
 // whether an item was available.
 func (q *Queue[T]) TryPop() (v T, ok bool) {
-	if len(q.items) == 0 {
+	if q.items.len() == 0 {
 		return v, false
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.items.pop(), true
 }

@@ -10,7 +10,7 @@ type Resource struct {
 	parkLabel string // "resource:<name>", built once; Acquire parks with it
 	capacity  int
 	inUse     int
-	queue     []*Proc
+	queue     ring[*Proc]
 
 	// statistics
 	created   Time
@@ -40,16 +40,19 @@ func (r *Resource) Capacity() int { return r.capacity }
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of processes waiting to acquire.
-func (r *Resource) QueueLen() int { return len(r.queue) }
+func (r *Resource) QueueLen() int { return r.queue.len() }
 
+//simlint:hotpath
 func (r *Resource) accumulate() {
 	dt := int64(r.k.now - r.lastT)
 	r.busyInt += int64(r.inUse) * dt
-	r.queueInt += int64(len(r.queue)) * dt
+	r.queueInt += int64(r.queue.len()) * dt
 	r.lastT = r.k.now
 }
 
 // Acquire blocks p until a capacity unit is available and takes it.
+//
+//simlint:hotpath
 func (r *Resource) Acquire(p *Proc) {
 	start := r.k.now
 	r.accumulate()
@@ -57,26 +60,52 @@ func (r *Resource) Acquire(p *Proc) {
 		r.inUse++
 		return
 	}
-	r.queue = append(r.queue, p)
+	r.queue.push(p)
 	r.k.noteWaiting(p)
+	// If p is killed while parked here, the capacity unit a releaser
+	// transferred to it must be re-homed; see killedUnwind.
+	p.unwind = r
 	p.park(r.parkLabel)
+	p.unwind = nil
 	// The releaser transferred its unit to us; inUse is already counted.
 	r.waitTotal += r.k.now.Sub(start)
 }
 
 // Release returns a capacity unit. If processes are queued, the unit is
 // handed directly to the head of the queue.
+//
+//simlint:hotpath
 func (r *Resource) Release() {
 	r.accumulate()
-	if len(r.queue) > 0 {
-		p := r.queue[0]
-		r.queue = r.queue[1:]
+	if r.queue.len() > 0 {
+		p := r.queue.pop()
 		r.k.noteRunnable(p)
 		r.k.schedule(r.k.now, p.wake)
 		return
 	}
 	if r.inUse == 0 {
-		panic("sim: release of idle resource " + r.name)
+		r.panicIdleRelease()
+	}
+	r.inUse--
+}
+
+// panicIdleRelease reports a Release without a matching Acquire. Split out
+// of Release so the hot path stays free of string concatenation.
+func (r *Resource) panicIdleRelease() {
+	panic("sim: release of idle resource " + r.name)
+}
+
+// killedUnwind returns the capacity unit that Release transferred to a
+// process that was killed while parked in Acquire. Without this, the unit
+// would unwind with the dead process and be leaked forever: hand it to the
+// next queued waiter, or put it back as free capacity.
+func (r *Resource) killedUnwind(*Proc) {
+	r.accumulate()
+	if r.queue.len() > 0 {
+		next := r.queue.pop()
+		r.k.noteRunnable(next)
+		r.k.schedule(r.k.now, next.wake)
+		return
 	}
 	r.inUse--
 }

@@ -1,0 +1,60 @@
+package sim
+
+// ring is a growable FIFO ring buffer. The kernel uses it for the
+// same-instant event fast lane, and Queue/Resource use it for item and
+// waiter FIFOs: the previous `q = q[1:]` slice-shift FIFOs re-allocated
+// their backing array on every append-after-shift cycle, which thrashes
+// the allocator under sustained load. A ring reuses one power-of-two
+// backing array and only grows when the population genuinely exceeds it,
+// so steady-state push/pop is allocation-free.
+type ring[T any] struct {
+	buf  []T // power-of-two length, nil until first push
+	head int // index of the front element
+	n    int // number of buffered elements
+}
+
+// len returns the number of buffered elements.
+//
+//simlint:hotpath
+func (r *ring[T]) len() int { return r.n }
+
+// push appends v at the back.
+//
+//simlint:hotpath
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+// pop removes and returns the front element. It must not be called on an
+// empty ring.
+//
+//simlint:hotpath
+func (r *ring[T]) pop() T {
+	v := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero // release the reference for GC
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+// grow doubles the backing array, unwrapping the live elements to the
+// front. Called only when the ring is full (or nil), so the live region is
+// exactly buf[head:] followed by buf[:head].
+func (r *ring[T]) grow() {
+	newCap := len(r.buf) * 2
+	if newCap == 0 {
+		newCap = 8
+	}
+	nb := make([]T, newCap)
+	if r.n > 0 {
+		m := copy(nb, r.buf[r.head:])
+		copy(nb[m:], r.buf[:r.head])
+	}
+	r.buf = nb
+	r.head = 0
+}

@@ -11,6 +11,11 @@
 // models in this repository: service times and queueing delays accrue in
 // virtual time, so latency and throughput measurements are exact and
 // independent of host machine speed.
+//
+// Internally events live in a hierarchical timing wheel with a same-instant
+// fast lane and a heap fallback for far-future timers (see wheel.go), and
+// process goroutines are pooled across process lifetimes, so both the event
+// loop and process churn are allocation-free at steady state.
 package sim
 
 import (
@@ -38,16 +43,21 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 // String formats the time as a duration since simulation start.
 func (t Time) String() string { return Duration(t).String() }
 
-// event is a pending kernel event: at time t, run fn.
+// event is a pending kernel event: at time t, run fn. A fired event has
+// fn == nil; a canceled one has canceled == true. There is no position
+// index: cancellation is lazy, and the scheduler drops canceled events
+// when it encounters them.
 type event struct {
 	t        Time
 	seq      uint64
 	fn       func()
 	canceled bool
 	pinned   bool // referenced outside the kernel (timers); never recycled
-	index    int  // heap index, -1 when popped
 }
 
+// eventHeap is the far-future overflow heap, ordered by (t, seq). Only
+// timers beyond the wheel span live here; they migrate into the wheel as
+// virtual time approaches.
 type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -57,43 +67,45 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
-	e.index = -1
 	*h = old[:n-1]
 	return e
 }
 
 // Kernel is a discrete-event simulation kernel. Create one with NewKernel,
-// spawn processes with Spawn, and drive it with Run or RunUntil.
+// spawn processes with Spawn (detached fire-and-forget work: Go), and drive
+// it with Run or RunUntil.
 //
 // A Kernel is not safe for concurrent use from multiple host goroutines;
 // all interaction must happen either before Run or from within simulation
 // processes.
 type Kernel struct {
-	now    Time
-	seq    uint64
-	queue  eventHeap
-	free   []*event // recycled event structs (see schedule/RunUntil)
-	rng    *rand.Rand
-	seed   int64
-	live   int   // processes spawned and not yet terminated
-	procs  int64 // total processes ever spawned (id source)
-	yield  chan struct{}
-	failed any // panic value recovered from a process
+	now     Time
+	seq     uint64
+	pending int          // scheduled events that are neither fired nor canceled
+	fast    ring[*event] // same-instant FIFO lane (events at exactly now)
+	wheel   timerWheel
+	overflow eventHeap // timers ≥ wheelSpan ahead
+	due      []*event  // drained level-0 slot for the current instant, seq order
+	dueIdx   int
+	free     []*event // recycled event structs (see schedule/RunUntil)
+	rng      *rand.Rand
+	seed     int64
+	live     int   // processes spawned and not yet terminated
+	procs    int64 // total processes ever spawned (id source)
+	yield    chan struct{}
+	failed   any // panic value recovered from a process
+
+	// workerFree pools parked process goroutines (and, for Go, their Proc
+	// structs) across process lifetimes. RunUntil releases the pool when a
+	// run drains, so idle kernels do not pin goroutines.
+	workerFree []*procWorker
 
 	// current is the process executing right now, nil when the kernel
 	// itself runs (between events).
@@ -108,7 +120,6 @@ type Kernel struct {
 // random stream derived from seed.
 func NewKernel(seed int64) *Kernel {
 	return &Kernel{
-		queue: make(eventHeap, 0, 1024),
 		free:  make([]*event, 0, 1024),
 		rng:   rand.New(rand.NewSource(seed)),
 		seed:  seed,
@@ -130,27 +141,40 @@ func (k *Kernel) Seed() int64 { return k.seed }
 // yet terminated.
 func (k *Kernel) Live() int { return k.live }
 
-// schedule enqueues fn to run at time t. The event struct comes from the
-// kernel's free list when possible: Sleep-heavy workloads churn millions of
-// events per run, and recycling them keeps the hot path allocation-free.
-// Events handed out by schedule must not be retained by callers — use
-// scheduleTimer for events that are cancelable later.
+// schedule enqueues fn to run at time t. Events at or before the current
+// instant go to the FIFO fast lane — the dominant wake pattern
+// schedule(k.now, p.wake) never touches the wheel — and later events go to
+// the wheel, or to the overflow heap beyond the wheel span. The event
+// struct comes from the kernel's free list when possible: Sleep-heavy
+// workloads churn millions of events per run, and recycling them keeps the
+// hot path allocation-free. Events handed out by schedule must not be
+// retained by callers — use scheduleTimer for events that are cancelable
+// later.
 //
 //simlint:hotpath
 func (k *Kernel) schedule(t Time, fn func()) *event {
-	if t < k.now {
-		t = k.now
-	}
 	var e *event
 	if n := len(k.free); n > 0 {
 		e = k.free[n-1]
 		k.free = k.free[:n-1]
-		e.t, e.seq, e.fn, e.canceled, e.pinned = t, k.seq, fn, false, false
+		e.fn, e.canceled, e.pinned = fn, false, false
 	} else {
-		e = &event{t: t, seq: k.seq, fn: fn}
+		e = &event{fn: fn}
 	}
+	e.seq = k.seq
 	k.seq++
-	heap.Push(&k.queue, e)
+	k.pending++
+	if t <= k.now {
+		e.t = k.now
+		k.fast.push(e)
+	} else {
+		e.t = t
+		if uint64(t-k.now) < wheelSpan {
+			k.wheel.place(e, k.now)
+		} else {
+			heap.Push(&k.overflow, e)
+		}
+	}
 	return e
 }
 
@@ -176,19 +200,18 @@ func (k *Kernel) recycle(e *event) {
 	k.free = append(k.free, e)
 }
 
-// cancel removes a pending event. Canceling an already-fired event is a
-// no-op.
+// cancel marks a pending event dead. The event stays wherever it is queued
+// and is dropped when the scheduler encounters it; only the pending count
+// is updated eagerly, so run loops and deadlock detection see the true
+// number of live events. Canceling an already-fired event is a no-op.
 //
 //simlint:hotpath
 func (k *Kernel) cancel(e *event) {
-	if e == nil || e.canceled || e.index < 0 {
-		if e != nil {
-			e.canceled = true
-		}
+	if e == nil || e.canceled || e.fn == nil {
 		return
 	}
 	e.canceled = true
-	heap.Remove(&k.queue, e.index)
+	k.pending--
 }
 
 // After schedules fn to run in its own short-lived context d from now.
@@ -203,11 +226,19 @@ type Proc struct {
 	k      *Kernel
 	id     int64
 	name   string
-	resume chan struct{}
+	resume chan struct{} // shared with the worker goroutine running this proc
+	src    *Source       // backs rng for pooled (Go) processes only; nil for Spawn
 	rng    *rand.Rand
 	killed bool
-	done   *Future[struct{}]
-	parked string // what the process is blocked on, for deadlock reports
+	done   *Future[struct{}] // nil for detached (Go) processes
+	parked string            // what the process is blocked on, for deadlock reports
+
+	// unwind is set while the process is parked inside a primitive that
+	// may transfer ownership (a Resource capacity unit, a Queue wake) to
+	// it. If the process is killed and unwinds out of that park, the
+	// kernel calls killedUnwind so the primitive can pass the ownership
+	// on instead of leaking it.
+	unwind killUnwinder
 
 	// tctx is an opaque trace context (owned by internal/trace). It is
 	// inherited by processes this one spawns, so request attribution
@@ -219,6 +250,14 @@ type Proc struct {
 	// schedules it, so allocating it once per process instead of once per
 	// event keeps Sleep and resource handoffs off the allocator.
 	wake func()
+}
+
+// killUnwinder is implemented by blocking primitives (Resource, Queue)
+// whose wakers transfer ownership to the process they wake. When a killed
+// process unwinds out of a park inside such a primitive, the kernel gives
+// the primitive a chance to re-home whatever was transferred.
+type killUnwinder interface {
+	killedUnwind(p *Proc)
 }
 
 // Name returns the name the process was spawned with.
@@ -236,7 +275,8 @@ func (p *Proc) Now() Time { return p.k.now }
 // Rand returns a deterministic random stream private to this process.
 func (p *Proc) Rand() *rand.Rand { return p.rng }
 
-// Done returns a future that completes when the process terminates.
+// Done returns a future that completes when the process terminates. It is
+// nil for detached processes started with Kernel.Go.
 func (p *Proc) Done() *Future[struct{}] { return p.done }
 
 // TraceCtx returns the process's opaque trace context, nil when the
@@ -254,15 +294,126 @@ type killedErr struct{ name string }
 
 func (e killedErr) Error() string { return "sim: process killed: " + e.name }
 
-// Spawn starts fn as a new process. The process begins executing at the
-// current virtual time, after the caller blocks or returns to the kernel.
+// procWorker is a pooled process goroutine. Spawning a goroutine plus its
+// resume channel for every short-lived fan-out process is the dominant
+// cost of process churn, so workers park between process lifetimes and are
+// reused. Each worker also lazily owns one reusable Proc struct (pp) that
+// Kernel.Go hands out: detached processes expose no handle, so recycling
+// the struct is invisible.
+type procWorker struct {
+	k      *Kernel
+	resume chan struct{}
+	p      *Proc // process to run on next resume; nil means terminate
+	fn     func(*Proc)
+	pp     *Proc // reusable Proc for detached (Go) processes
+}
+
+func (w *procWorker) loop() {
+	for {
+		<-w.resume
+		if w.p == nil {
+			return // pool teardown (drainPools)
+		}
+		w.run()
+	}
+}
+
+// run executes one process lifetime on this worker.
+func (w *procWorker) run() {
+	k := w.k
+	p := w.p
+	returned := false
+	defer func() {
+		r := recover()
+		switch {
+		case r != nil:
+			if _, ok := r.(killedErr); ok {
+				if p.unwind != nil {
+					p.unwind.killedUnwind(p)
+					p.unwind = nil
+				}
+			} else {
+				k.failed = r
+			}
+		case !returned:
+			// fn is exiting via runtime.Goexit — in practice t.Fatal or
+			// t.Skip called from inside a process. Goexit runs this defer
+			// and then kills the goroutine regardless, so the worker must
+			// NOT return to the pool: a later resume (reuse or drainPools
+			// teardown) would block forever on a dead goroutine.
+			w.p = nil
+			w.fn = nil
+			k.live--
+			k.current = nil
+			if p.done != nil {
+				p.done.Set(struct{}{})
+			}
+			k.yield <- struct{}{}
+			return
+		}
+		k.live--
+		k.current = nil
+		if p.done != nil {
+			p.done.Set(struct{}{})
+		}
+		w.p = nil
+		w.fn = nil
+		// The kernel goroutine is blocked in dispatch until the yield send
+		// below, so mutating the pool from here is race-free.
+		k.workerFree = append(k.workerFree, w)
+		k.yield <- struct{}{}
+	}()
+	k.current = p
+	if w.fn != nil {
+		w.fn(p)
+	}
+	returned = true
+}
+
+// getWorker pops a pooled worker or starts a fresh one.
+func (k *Kernel) getWorker() *procWorker {
+	if n := len(k.workerFree); n > 0 {
+		w := k.workerFree[n-1]
+		k.workerFree[n-1] = nil
+		k.workerFree = k.workerFree[:n-1]
+		return w
+	}
+	w := &procWorker{k: k, resume: make(chan struct{})}
+	go w.loop()
+	return w
+}
+
+// drainPools terminates pooled worker goroutines. Called when a run
+// drains: parked goroutines are never garbage-collected, and sweeps build
+// hundreds of kernels, so an idle kernel must not pin its pool.
+func (k *Kernel) drainPools() {
+	for i, w := range k.workerFree {
+		w.p = nil
+		w.resume <- struct{}{}
+		k.workerFree[i] = nil
+	}
+	k.workerFree = k.workerFree[:0]
+}
+
+// Spawn starts fn as a new process and returns its handle. The process
+// begins executing at the current virtual time, after the caller blocks or
+// returns to the kernel. The goroutine under the process is pooled; the
+// Proc itself is freshly allocated because the handle (Done, Kill) may
+// outlive the process. For fire-and-forget work that needs no handle, Go
+// is cheaper.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	k.procs++
+	w := k.getWorker()
+	// Spawn keeps the stdlib ALFG source: Spawn processes are the
+	// long-lived ones (client threads, server loops) whose draws shape the
+	// experiment workloads, and the calibrated experiment results are pinned
+	// to these exact streams. Only the pooled fire-and-forget path (Go)
+	// trades it for the reseedable small-state Source — see Go.
 	p := &Proc{
 		k:      k,
 		id:     k.procs,
 		name:   name,
-		resume: make(chan struct{}),
+		resume: w.resume,
 		rng:    rand.New(rand.NewSource(procSeed(k.seed, k.procs))),
 	}
 	if k.current != nil {
@@ -270,25 +421,55 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	}
 	p.wake = func() { k.dispatch(p) }
 	p.done = NewFuture[struct{}](k)
+	w.p = p
+	w.fn = fn
 	k.live++
-	go func() {
-		<-p.resume
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(killedErr); !ok {
-					k.failed = r
-				}
-			}
-			k.live--
-			k.current = nil
-			p.done.Set(struct{}{})
-			k.yield <- struct{}{}
-		}()
-		k.current = p
-		fn(p)
-	}()
 	k.schedule(k.now, p.wake)
 	return p
+}
+
+// Go starts fn as a detached process: identical scheduling, naming, and
+// per-process seed derivation to Spawn, but no handle is returned — so the
+// Proc struct, its RNG, and the goroutine underneath are all recycled from
+// the kernel's pool, making a steady-state Go allocation-free. This is the
+// right call for the fan-out storms the database models produce (replica
+// writes, read fans, pipeline legs): millions of short-lived processes
+// whose Done future nobody ever awaited.
+//
+// Unlike Spawn, the RNG is a reseedable small-state Source (32 bytes,
+// xoshiro256++) instead of the stdlib's ~5 KB warm-up-heavy ALFG — that is
+// what makes recycling allocation-free. The streams are deterministic and
+// procSeed-derived either way, just different generators; Go processes in
+// the database models draw from theirs only off the performance paths
+// (audit-mode jitter, trace span ids).
+//
+// The *Proc passed to fn must not be retained after fn returns.
+func (k *Kernel) Go(name string, fn func(p *Proc)) {
+	k.procs++
+	w := k.getWorker()
+	p := w.pp
+	if p == nil {
+		src := NewSource(uint64(procSeed(k.seed, k.procs)))
+		p = &Proc{k: k, resume: w.resume, src: src, rng: rand.New(src)}
+		p.wake = func() { k.dispatch(p) }
+		w.pp = p
+	} else {
+		p.src.Reseed(uint64(procSeed(k.seed, k.procs)))
+	}
+	p.id = k.procs
+	p.name = name
+	p.killed = false
+	p.done = nil
+	p.parked = ""
+	p.unwind = nil
+	p.tctx = nil
+	if k.current != nil {
+		p.tctx = k.current.tctx
+	}
+	w.p = p
+	w.fn = fn
+	k.live++
+	k.schedule(k.now, p.wake)
 }
 
 // procSeed derives the RNG seed for process id from the kernel seed using a
@@ -392,19 +573,18 @@ func (k *Kernel) Run() error { return k.RunUntil(Time(1<<63 - 1)) }
 //
 //simlint:hotpath
 func (k *Kernel) RunUntil(limit Time) error {
-	for len(k.queue) > 0 {
-		e := k.queue[0]
-		if e.t > limit {
-			k.now = limit
+	if k.now > limit {
+		k.now = limit
+		return nil
+	}
+	for k.pending > 0 {
+		e := k.pop(limit)
+		if e == nil {
 			return nil
 		}
-		heap.Pop(&k.queue)
-		if e.canceled {
-			k.recycle(e)
-			continue
-		}
-		k.now = e.t
 		fn := e.fn
+		e.fn = nil
+		k.pending--
 		k.recycle(e)
 		// Every scheduled event carries a fn (schedule never stores nil);
 		// a nil here is kernel corruption, and the panic is the best
@@ -415,6 +595,7 @@ func (k *Kernel) RunUntil(limit Time) error {
 	if k.live > 0 {
 		return &DeadlockError{Time: k.now, Blocked: k.blockedNames()}
 	}
+	k.drainPools()
 	return nil
 }
 

@@ -556,3 +556,237 @@ func TestSleepHotPathDoesNotAllocate(t *testing.T) {
 		t.Errorf("allocs/event = %.3f, want ~0 (free list or wake closure regressed)", perEvent)
 	}
 }
+
+func TestKilledResourceWaiterHandsUnitToNextWaiter(t *testing.T) {
+	// Regression: a process killed while parked in Resource.Acquire absorbs
+	// the capacity unit the releaser transferred to it. Without killedUnwind
+	// the unit unwinds with the dead process and every later acquirer
+	// deadlocks.
+	k := NewKernel(1)
+	r := NewResource(k, "disk", 1)
+	var victimRan bool
+	var thirdAt Time
+	k.Spawn("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(10 * time.Millisecond)
+		r.Release()
+	})
+	victim := k.Spawn("victim", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		r.Acquire(p)
+		victimRan = true
+		r.Release()
+	})
+	k.Spawn("killer", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		victim.Kill()
+	})
+	k.Spawn("third", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		r.Acquire(p)
+		thirdAt = p.Now()
+		r.Release()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v (unit leaked by killed waiter?)", err)
+	}
+	if victimRan {
+		t.Fatal("killed waiter acquired the resource")
+	}
+	if thirdAt != Time(10*time.Millisecond) {
+		t.Fatalf("third acquired at %v, want %v", thirdAt, Time(10*time.Millisecond))
+	}
+}
+
+func TestKilledResourceWaiterReturnsUnitToCapacity(t *testing.T) {
+	// Same leak, no other waiter queued: the unit transferred to the killed
+	// process must come back as free capacity for a later acquirer.
+	k := NewKernel(1)
+	r := NewResource(k, "disk", 1)
+	var lateAt Time
+	k.Spawn("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(10 * time.Millisecond)
+		r.Release()
+	})
+	victim := k.Spawn("victim", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		r.Acquire(p)
+		r.Release()
+	})
+	k.Spawn("killer", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		victim.Kill()
+	})
+	k.Spawn("late", func(p *Proc) {
+		p.Sleep(20 * time.Millisecond)
+		r.Acquire(p)
+		lateAt = p.Now()
+		r.Release()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v (unit leaked by killed waiter?)", err)
+	}
+	if lateAt != Time(20*time.Millisecond) {
+		t.Fatalf("late acquired at %v, want %v (unit not returned to capacity)", lateAt, Time(20*time.Millisecond))
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("InUse = %d after drain, want 0", r.InUse())
+	}
+}
+
+func TestKilledQueueWaiterChainsWakeToNext(t *testing.T) {
+	// A Push wakes exactly one waiter; if that waiter was killed while
+	// parked, the wake must chain to the next waiter so the buffered item is
+	// not stranded.
+	k := NewKernel(1)
+	q := NewQueue[int](k)
+	var got []int
+	victim := k.Spawn("victim", func(p *Proc) {
+		got = append(got, q.Pop(p)*-1)
+	})
+	k.Spawn("backup", func(p *Proc) {
+		got = append(got, q.Pop(p))
+	})
+	k.Spawn("killer", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		victim.Kill()
+	})
+	k.Spawn("producer", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		q.Push(7)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v (wake stranded on killed waiter?)", err)
+	}
+	if fmt.Sprint(got) != "[7]" {
+		t.Fatalf("got %v, want [7] delivered to the backup waiter", got)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue still buffers %d item(s)", q.Len())
+	}
+}
+
+func TestGoRunsDetachedProcesses(t *testing.T) {
+	k := NewKernel(1)
+	var done int
+	for i := 0; i < 50; i++ {
+		k.Go("worker", func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			done++
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 50 {
+		t.Fatalf("done = %d, want 50", done)
+	}
+	if k.Live() != 0 {
+		t.Fatalf("Live = %d after drain, want 0", k.Live())
+	}
+}
+
+func TestGoMatchesSpawnSemantics(t *testing.T) {
+	// Go must schedule identically to Spawn modulo the returned handle:
+	// same process ids, same wake times. RNG draws are compared Go-vs-Go
+	// only — Go deliberately uses the reseedable small-state Source while
+	// Spawn keeps the stdlib source, so the streams differ by generator
+	// (both deterministic and procSeed-derived).
+	type draw struct {
+		id int64
+		at Time
+		v  int64
+	}
+	run := func(useGo bool) []draw {
+		k := NewKernel(42)
+		var out []draw
+		body := func(p *Proc) {
+			p.Sleep(Duration(p.ID()) * time.Microsecond)
+			out = append(out, draw{p.ID(), p.Now(), p.Rand().Int63()})
+		}
+		for i := 0; i < 30; i++ {
+			if useGo {
+				k.Go("w", body)
+			} else {
+				k.Spawn("w", body)
+			}
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	spawned, goed := run(false), run(true)
+	if len(spawned) != len(goed) {
+		t.Fatalf("run lengths differ: spawn %d, go %d", len(spawned), len(goed))
+	}
+	for i := range spawned {
+		if spawned[i].id != goed[i].id || spawned[i].at != goed[i].at {
+			t.Fatalf("Go scheduling diverged from Spawn at %d:\nspawn: %v\ngo:    %v",
+				i, spawned[i], goed[i])
+		}
+	}
+	if again := run(true); fmt.Sprint(goed) != fmt.Sprint(again) {
+		t.Fatalf("Go runs not deterministic:\nfirst:  %v\nsecond: %v", goed, again)
+	}
+}
+
+func TestGoPooledProcsDoNotLeakState(t *testing.T) {
+	// Sequential waves of Go processes recycle Proc structs; each lifetime
+	// must see a fresh id, name, and RNG stream, not its predecessor's.
+	k := NewKernel(7)
+	seen := map[int64]bool{}
+	var draws []int64
+	k.Spawn("driver", func(p *Proc) {
+		for wave := 0; wave < 5; wave++ {
+			for i := 0; i < 4; i++ {
+				k.Go("wave", func(q *Proc) {
+					if seen[q.ID()] {
+						t.Errorf("duplicate proc id %d from pooled Proc", q.ID())
+					}
+					seen[q.ID()] = true
+					draws = append(draws, q.Rand().Int63())
+				})
+			}
+			p.Sleep(time.Millisecond)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(draws) != 20 {
+		t.Fatalf("ran %d procs, want 20", len(draws))
+	}
+	uniq := map[int64]bool{}
+	for _, d := range draws {
+		uniq[d] = true
+	}
+	if len(uniq) < 19 {
+		t.Fatalf("pooled RNGs repeated streams: %d unique draws of %d", len(uniq), len(draws))
+	}
+}
+
+func TestDrainPoolsReleasesWorkerGoroutines(t *testing.T) {
+	// Pooled worker goroutines must be torn down when a run drains: sweeps
+	// build hundreds of kernels, and parked goroutines are never GC'd.
+	before := runtime.NumGoroutine()
+	k := NewKernel(1)
+	for i := 0; i < 64; i++ {
+		k.Go("burst", func(p *Proc) { p.Sleep(time.Microsecond) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines = %d, want <= %d (worker pool not drained)", runtime.NumGoroutine(), before+2)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -239,7 +239,7 @@ func (e *Engine) ForceFlush() {
 	// Flushes are spawned from whatever request filled the memtable;
 	// detach the inherited trace context so flush work (including HDFS
 	// pipeline writes) bills to the background class, not to that op.
-	e.k.Spawn("flush", func(p *sim.Proc) { p.SetTraceCtx(nil); e.flush(p, snap) })
+	e.k.Go("flush", func(p *sim.Proc) { p.SetTraceCtx(nil); e.flush(p, snap) })
 }
 
 func (e *Engine) flush(p *sim.Proc, snap *skiplist) {
@@ -299,7 +299,7 @@ func (e *Engine) maybeCompact() {
 			e.compacting = true
 			inputs := group
 			// Same detach as flush: compaction is background work.
-			e.k.Spawn("compact", func(p *sim.Proc) { p.SetTraceCtx(nil); e.compact(p, inputs) })
+			e.k.Go("compact", func(p *sim.Proc) { p.SetTraceCtx(nil); e.compact(p, inputs) })
 			return
 		}
 	}

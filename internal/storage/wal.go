@@ -51,7 +51,7 @@ func (w *WAL) AppendAsync(bytes int) {
 func (w *WAL) ensureFlusher() {
 	if !w.flushing {
 		w.flushing = true
-		w.k.Spawn("wal-flush", w.flushLoop)
+		w.k.Go("wal-flush", w.flushLoop)
 	}
 }
 
