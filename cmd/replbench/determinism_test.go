@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"cloudbench/internal/core"
+	"cloudbench/internal/trace"
 )
 
 // capture runs the CLI and returns its report with the trailing
@@ -79,6 +80,58 @@ func TestTraceBitIdentical(t *testing.T) {
 		for i := range a {
 			if i < len(b) && a[i] != b[i] {
 				t.Fatalf("span %d differs:\n  a: %+v\n  b: %+v", i, a[i], b[i])
+			}
+		}
+		t.Fatalf("span streams differ in length: %d vs %d", len(a), len(b))
+	}
+}
+
+// TestShardedSweepBitIdentical is the acceptance gate for the sharded
+// kernel: every experiment family must produce byte-identical reports on a
+// 4-shard kernel group and on the plain sequential kernel. The benchmark
+// deployments live entirely on the group's home shard (same seed, same
+// event stream), so any diff here means the window engine reordered,
+// duplicated, or dropped events.
+func TestShardedSweepBitIdentical(t *testing.T) {
+	experiments := []string{"fig1", "audit", "tracebreak"}
+	if !testing.Short() {
+		experiments = append(experiments, "fig2", "fig3")
+	}
+	for _, experiment := range experiments {
+		t.Run(experiment, func(t *testing.T) {
+			base := []string{"-experiment", experiment, "-profile", "smoke", "-csv", "-seed", "42", "-rf", "1,3"}
+			seq := capture(t, append(base, "-shards", "1")...)
+			sharded := capture(t, append(base, "-shards", "4")...)
+			if seq != sharded {
+				t.Errorf("-shards 1 and -shards 4 reports differ:\n%s", firstDiff(seq, sharded))
+			}
+		})
+	}
+}
+
+// TestShardedTraceSpansBitIdentical extends the sharded gate to the raw
+// span stream: IDs, timestamps, and phase boundaries must survive the
+// window engine untouched.
+func TestShardedTraceSpansBitIdentical(t *testing.T) {
+	run := func(shards int) []trace.Span {
+		o := core.SmokeOptions()
+		o.Seed = 42
+		o.Shards = shards
+		o.ReplicationFactors = []int{3}
+		_, spans, err := core.RunTraceSpans(o, 50_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spans
+	}
+	a, b := run(1), run(4)
+	if len(a) == 0 {
+		t.Fatal("span-retaining cell kept no spans")
+	}
+	if !reflect.DeepEqual(a, b) {
+		for i := range a {
+			if i < len(b) && a[i] != b[i] {
+				t.Fatalf("span %d differs between -shards 1 and -shards 4:\n  a: %+v\n  b: %+v", i, a[i], b[i])
 			}
 		}
 		t.Fatalf("span streams differ in length: %d vs %d", len(a), len(b))

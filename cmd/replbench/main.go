@@ -4,13 +4,15 @@
 // Usage:
 //
 //	replbench -experiment table1|fig1|fig2|fig3|audit|tracebreak|ablation-a1|ablation-a2|ablation-a3|geo|failover|sla|findings|all \
-//	          [-profile smoke|quick|paper] [-short] [-seed N] [-rf 1,2,3] [-parallel N] [-csv] [-o results.txt] [-trace-out trace.json]
+//	          [-profile smoke|quick|paper] [-short] [-seed N] [-rf 1,2,3] [-parallel N] [-shards N] [-csv] [-o results.txt] [-trace-out trace.json]
 //
 // Sweeps fan their independent cells out across host CPUs (-parallel bounds
-// the worker pool; 0 means one worker per CPU). Every cell is its own
-// single-threaded deterministic simulation, so the report is bit-identical
-// whatever the parallelism. -seed and -csv apply uniformly to every
-// experiment, including the geo and failover extensions.
+// the worker pool; 0 means one worker per CPU). -shards additionally runs
+// each cell's kernel as a sharded group (see DESIGN §10). Every cell is a
+// deterministic simulation whose event order is independent of both knobs,
+// so the report is bit-identical whatever the parallelism or shard count.
+// -seed and -csv apply uniformly to every experiment, including the geo and
+// failover extensions.
 //
 // Each experiment prints the corresponding table or figure series in the
 // same rows the paper reports, plus a findings summary comparing the
@@ -50,6 +52,7 @@ func run(args []string, stdout io.Writer) error {
 	traceOut := fs.String("trace-out", "", "write Chrome trace-event JSON for one span-retaining tracebreak cell to this file")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	parallel := fs.Int("parallel", 0, "sweep cells run concurrently (0 = one per CPU); results are bit-identical for every value")
+	shards := fs.Int("shards", 0, "kernel execution shards per simulation cell (0/1 = sequential kernel); results are bit-identical for every value")
 	rfList := fs.String("rf", "", "comma-separated replication factors (default 1-6)")
 	noReadRepair := fs.Bool("no-read-repair", false, "disable Cassandra read repair (ablation A1 inline)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -77,6 +80,12 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("bad -parallel %d", *parallel)
 	}
 	o.Parallelism = *parallel
+	if *shards < 0 {
+		return fmt.Errorf("bad -shards %d", *shards)
+	}
+	if *shards > 0 {
+		o.Shards = *shards
+	}
 	if *rfList != "" {
 		var rfs []int
 		for _, part := range strings.Split(*rfList, ",") {

@@ -1,0 +1,65 @@
+package cluster
+
+import "time"
+
+// ShardPlan maps a cluster topology onto kernel execution shards (see
+// sim.ShardGroup). These are host-side execution partitions — which member
+// kernel simulates which nodes — and are unrelated to the key-range splits
+// ycsb.SplitPoints produces for pre-splitting HBase regions.
+type ShardPlan struct {
+	Shards    int
+	Lookahead time.Duration // min one-way cross-shard network latency
+	NodeShard []int         // NodeShard[i] is the execution shard of node i
+}
+
+// PlanShards partitions a cfg.Nodes-node topology into the given number of
+// contiguous execution shards and computes the conservative lookahead: the
+// minimum one-way network latency between any two nodes that land on
+// different shards. Any message between nodes on different shards takes at
+// least that long, so it is the largest window width the conservative
+// scheme can safely use.
+//
+// Node i goes to shard i*shards/nodes — the same contiguous split rule New
+// uses for zones, so when the shard count divides the zone count evenly the
+// shard boundaries align with zone boundaries and the lookahead widens from
+// BaseRTT/2 to InterZoneRTT/2.
+func PlanShards(cfg Config, shards int) ShardPlan {
+	if cfg.Zones < 1 {
+		cfg.Zones = 1
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > cfg.Nodes {
+		shards = cfg.Nodes
+	}
+	p := ShardPlan{Shards: shards, NodeShard: make([]int, cfg.Nodes)}
+	zone := make([]int, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		p.NodeShard[i] = i * shards / cfg.Nodes
+		zone[i] = i * cfg.Zones / cfg.Nodes
+	}
+	if shards == 1 {
+		return p // no cross-shard edges; lookahead is unused
+	}
+	// Minimum one-way latency over all cross-shard node pairs. Quadratic in
+	// node count, but it runs once per deployment on at most a few hundred
+	// nodes.
+	min := time.Duration(0)
+	for i := 0; i < cfg.Nodes; i++ {
+		for j := i + 1; j < cfg.Nodes; j++ {
+			if p.NodeShard[i] == p.NodeShard[j] {
+				continue
+			}
+			oneWay := cfg.BaseRTT / 2
+			if zone[i] != zone[j] && cfg.InterZoneRTT > 0 {
+				oneWay = cfg.InterZoneRTT / 2
+			}
+			if min == 0 || oneWay < min {
+				min = oneWay
+			}
+		}
+	}
+	p.Lookahead = min
+	return p
+}

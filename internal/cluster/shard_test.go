@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPlanShardsContiguous(t *testing.T) {
+	cfg := DefaultConfig() // 16 nodes, single zone, BaseRTT 200µs
+	p := PlanShards(cfg, 4)
+	if p.Shards != 4 {
+		t.Fatalf("shards = %d, want 4", p.Shards)
+	}
+	want := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3}
+	for i, s := range p.NodeShard {
+		if s != want[i] {
+			t.Errorf("node %d on shard %d, want %d", i, s, want[i])
+		}
+	}
+	if p.Lookahead != cfg.BaseRTT/2 {
+		t.Errorf("single-zone lookahead = %v, want BaseRTT/2 = %v", p.Lookahead, cfg.BaseRTT/2)
+	}
+}
+
+func TestPlanShardsZoneAligned(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Zones = 4
+	cfg.InterZoneRTT = 10 * time.Millisecond
+	// 4 shards over 4 zones: every cross-shard pair crosses a zone, so the
+	// lookahead widens to the inter-zone one-way latency.
+	p := PlanShards(cfg, 4)
+	if p.Lookahead != cfg.InterZoneRTT/2 {
+		t.Errorf("zone-aligned lookahead = %v, want InterZoneRTT/2 = %v",
+			p.Lookahead, cfg.InterZoneRTT/2)
+	}
+	// 8 shards over 4 zones: shards split zones, so some cross-shard pairs
+	// stay intra-zone and the lookahead falls back to BaseRTT/2.
+	p = PlanShards(cfg, 8)
+	if p.Lookahead != cfg.BaseRTT/2 {
+		t.Errorf("zone-splitting lookahead = %v, want BaseRTT/2 = %v",
+			p.Lookahead, cfg.BaseRTT/2)
+	}
+}
+
+func TestPlanShardsDegenerate(t *testing.T) {
+	cfg := DefaultConfig()
+	p := PlanShards(cfg, 1)
+	if p.Lookahead != 0 {
+		t.Errorf("single-shard lookahead = %v, want 0", p.Lookahead)
+	}
+	for i, s := range p.NodeShard {
+		if s != 0 {
+			t.Errorf("node %d on shard %d, want 0", i, s)
+		}
+	}
+	// More shards than nodes clamps to one node per shard.
+	cfg.Nodes = 3
+	p = PlanShards(cfg, 8)
+	if p.Shards != 3 {
+		t.Errorf("shards = %d, want clamp to 3", p.Shards)
+	}
+	if got := p.NodeShard; got[0] == got[1] || got[1] == got[2] {
+		t.Errorf("clamped plan not one node per shard: %v", got)
+	}
+}

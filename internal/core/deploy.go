@@ -13,6 +13,7 @@ import (
 // deployment is one freshly provisioned database under test.
 type deployment struct {
 	k          *sim.Kernel
+	group      *sim.ShardGroup // non-nil when Options.Shards > 1
 	clus       *cluster.Cluster
 	clientNode *cluster.Node
 	newClient  ycsb.ClientFactory
@@ -38,18 +39,34 @@ func engineConfig(o Options) storage.Config {
 	return cfg
 }
 
-// newKernelAndCluster builds the 16-machine rack.
-func newKernelAndCluster(o Options) (*sim.Kernel, *cluster.Cluster) {
-	k := sim.NewKernel(o.Seed)
+// newKernelAndCluster builds the 16-machine rack. With Options.Shards > 1
+// it builds a sharded kernel group instead of a plain kernel and deploys
+// the rack on the group's home shard: benchmark clients touch every node
+// directly (SendTo/RoundTrip are process-carried), so the rack model
+// cannot be split across member kernels without changing its event order.
+// The home shard inherits the cell seed unchanged, which is what makes
+// `-shards N` byte-identical to `-shards 1` for every experiment — the
+// window engine chops the same sequential event stream into conservative
+// windows without reordering it. Spatially partitioned parallelism is
+// exercised by the shardscale workload, whose segments are independent
+// clusters pinned one per shard.
+func newKernelAndCluster(o Options) (*sim.Kernel, *cluster.Cluster, *sim.ShardGroup) {
 	ccfg := o.Cluster
 	ccfg.Nodes = o.ServerNodes + 1
-	return k, cluster.New(k, ccfg)
+	if o.Shards > 1 {
+		plan := cluster.PlanShards(ccfg, o.Shards)
+		g := sim.NewShardGroup(o.Seed, o.Shards, plan.Lookahead)
+		k := g.Shard(0).Kernel()
+		return k, cluster.New(k, ccfg), g
+	}
+	k := sim.NewKernel(o.Seed)
+	return k, cluster.New(k, ccfg), nil
 }
 
 // deployHBase provisions HBase at the given replication factor with
 // regions pre-split for the workload's key space.
 func deployHBase(o Options, rf int, spec ycsb.Spec) *deployment {
-	k, clus := newKernelAndCluster(o)
+	k, clus, group := newKernelAndCluster(o)
 	servers := clus.Nodes[:o.ServerNodes]
 	clientNode := clus.Nodes[o.ServerNodes]
 
@@ -63,6 +80,7 @@ func deployHBase(o Options, rf int, spec ycsb.Spec) *deployment {
 
 	d := &deployment{
 		k:          k,
+		group:      group,
 		clus:       clus,
 		clientNode: clientNode,
 		newClient:  func() kv.Client { return db.NewClient(clientNode) },
@@ -78,7 +96,7 @@ func deployHBase(o Options, rf int, spec ycsb.Spec) *deployment {
 // deployCassandra provisions Cassandra at the given replication factor and
 // consistency levels.
 func deployCassandra(o Options, rf int, readCL, writeCL kv.ConsistencyLevel) *deployment {
-	k, clus := newKernelAndCluster(o)
+	k, clus, group := newKernelAndCluster(o)
 	servers := clus.Nodes[:o.ServerNodes]
 	clientNode := clus.Nodes[o.ServerNodes]
 
@@ -94,6 +112,7 @@ func deployCassandra(o Options, rf int, readCL, writeCL kv.ConsistencyLevel) *de
 
 	d := &deployment{
 		k:          k,
+		group:      group,
 		clus:       clus,
 		clientNode: clientNode,
 		newClient:  func() kv.Client { return db.NewClient(clientNode) },
@@ -118,6 +137,9 @@ func (d *deployment) drive(fn func(p *sim.Proc)) error {
 		}()
 		fn(p)
 	})
+	if d.group != nil {
+		return d.group.Run()
+	}
 	return d.k.Run()
 }
 

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cloudbench/internal/cassandra"
+	"cloudbench/internal/cluster"
+	"cloudbench/internal/kv"
+	"cloudbench/internal/sim"
+	"cloudbench/internal/ycsb"
+)
+
+// Shardscale is the spatially partitioned workload that exercises the
+// sharded kernel with real parallelism. The fig/audit/tracebreak
+// experiments are process-carried — one client machine's threads touch
+// every server directly — so they run on the group's home shard and gain
+// determinism but no speedup. Shardscale instead models what the paper's
+// §6 scale-out direction needs: a large cell split into token-range
+// segments, each an independent Cassandra cluster simulated on its own
+// member kernel, with a controlled fraction of reads crossing segments
+// through the group's conservative delivery API (paying the inter-zone
+// round trip, which is exactly the lookahead that makes the windows wide).
+
+// ShardScaleOptions sizes one shardscale cell.
+type ShardScaleOptions struct {
+	Seed   int64
+	Shards int // member kernels; segments are pinned one per shard
+
+	// TotalNodes database machines are split evenly across segments (plus
+	// one client machine per segment). TotalThreads and TotalOps are
+	// likewise split evenly, so the cell's total work is independent of
+	// the shard count and wall-clock differences measure engine scaling.
+	TotalNodes   int
+	TotalThreads int
+	TotalOps     int64
+
+	RecordsPerSegment int64
+	Replication       int
+
+	// RemoteEvery sends every RemoteEvery'th read to the next segment
+	// (0 disables): cross-shard traffic under load is what keeps the
+	// conservative windows honest. Remote reads pay InterZoneRTT.
+	RemoteEvery  int
+	InterZoneRTT time.Duration
+
+	Cluster cluster.Config
+}
+
+// DefaultShardScaleOptions returns the 64-node saturating cell used by
+// `make bench-shard` and the shardscale tests: enough offered load that
+// every segment's CPUs queue, so host cores — not virtual-time idling —
+// bound the wall clock.
+func DefaultShardScaleOptions() ShardScaleOptions {
+	ccfg := cluster.DefaultConfig()
+	ccfg.CPUSlots = 8
+	ccfg.CPUOpCost = 200 * time.Microsecond
+	ccfg.InternalOpCost = 100 * time.Microsecond
+	return ShardScaleOptions{
+		Seed:              1,
+		Shards:            1,
+		TotalNodes:        64,
+		TotalThreads:      512,
+		TotalOps:          40_000,
+		RecordsPerSegment: 2_000,
+		Replication:       3,
+		RemoteEvery:       20,
+		InterZoneRTT:      10 * time.Millisecond,
+		Cluster:           ccfg,
+	}
+}
+
+// ShardScaleSegment is one segment's measured slice of the run.
+type ShardScaleSegment struct {
+	Ops         int64
+	Throughput  float64 // simulated ops/second over the measured window
+	MeanLatency time.Duration
+	RemoteReads int64
+	Errors      int64
+}
+
+// ShardScaleResult aggregates a shardscale run.
+type ShardScaleResult struct {
+	Shards      int
+	Segments    []ShardScaleSegment
+	TotalOps    int64
+	RemoteReads int64
+	Errors      int64
+	// Throughput sums the segments' simulated throughputs.
+	Throughput float64
+}
+
+// scaleSegment is one token-range segment: its own cluster and database on
+// its own member kernel.
+type scaleSegment struct {
+	shard      *sim.Shard
+	db         *cassandra.DB
+	clientNode *cluster.Node
+	w          *ycsb.Workload
+	// server handles reads arriving from other segments; it lives on this
+	// segment's shard and is only ever used by code delivered here.
+	server kv.Client
+	result ycsb.Result
+	remote int64
+}
+
+// remoteMixClient wraps a segment-local client and diverts every n'th read
+// to the next segment over the shard group's delivery API. All other verbs
+// stay local.
+type remoteMixClient struct {
+	kv.Client
+	seg   *scaleSegment
+	dst   *scaleSegment
+	every int
+	n     int
+}
+
+type remoteResp struct {
+	rec kv.Record
+	err error
+}
+
+func (c *remoteMixClient) Read(p *sim.Proc, key kv.Key, fields []string) (kv.Record, error) {
+	c.n++
+	if c.every <= 0 || c.n%c.every != 0 {
+		return c.Client.Read(p, key, fields)
+	}
+	c.seg.remote++
+	src := c.seg.shard
+	srcID := src.ID()
+	lookahead := src.Group().Lookahead()
+	fut := sim.NewFuture[remoteResp](src.Kernel())
+	server := c.dst.server
+	src.Send(c.dst.shard.ID(), lookahead, func(ds *sim.Shard) {
+		// Serve the read as a fresh process on the destination segment —
+		// delivery runs in event context and must not block — then ship
+		// the response home, where the future completes on the source
+		// shard's kernel.
+		ds.Kernel().Go("shardscale-remote-read", func(rp *sim.Proc) {
+			rec, err := server.Read(rp, key, fields)
+			resp := remoteResp{rec: rec, err: err}
+			ds.Send(srcID, lookahead, func(*sim.Shard) { fut.Set(resp) })
+		})
+	})
+	resp := fut.Await(p)
+	return resp.rec, resp.err
+}
+
+// RunShardScale loads and runs the partitioned cell and returns the
+// aggregate result. The run is deterministic for a fixed (Seed, Shards)
+// pair at every worker count; unlike the home-shard experiments, results
+// are not comparable across different shard counts — segments are
+// differently sized clusters.
+func RunShardScale(o ShardScaleOptions) (ShardScaleResult, error) {
+	s := o.Shards
+	if s < 1 {
+		s = 1
+	}
+	if o.TotalNodes%s != 0 {
+		return ShardScaleResult{}, fmt.Errorf("shardscale: %d nodes not divisible into %d segments", o.TotalNodes, s)
+	}
+	nodesPer := o.TotalNodes / s
+	threadsPer := o.TotalThreads / s
+	if threadsPer < 1 {
+		threadsPer = 1
+	}
+	opsPer := o.TotalOps / int64(s)
+
+	var lookahead time.Duration
+	if s > 1 {
+		lookahead = o.InterZoneRTT / 2
+	}
+	g := sim.NewShardGroup(o.Seed, s, lookahead)
+
+	segs := make([]*scaleSegment, s)
+	for i := 0; i < s; i++ {
+		shard := g.Shard(i)
+		k := shard.Kernel()
+		ccfg := o.Cluster
+		ccfg.Nodes = nodesPer + 1 // segment servers plus one client machine
+		clus := cluster.New(k, ccfg)
+		servers := clus.Nodes[:nodesPer]
+		clientNode := clus.Nodes[nodesPer]
+
+		cfg := cassandra.DefaultConfig()
+		cfg.Replication = o.Replication
+		cfg.Engine.CacheBytes = 4 << 20
+		cfg.Engine.MemtableBytes = 256 << 10
+		cfg.Engine.SyncWAL = false
+		db := cassandra.New(k, cfg, servers)
+
+		segs[i] = &scaleSegment{
+			shard:      shard,
+			db:         db,
+			clientNode: clientNode,
+			w:          ycsb.NewWorkload(ycsb.ReadMostly(o.RecordsPerSegment)),
+			server:     db.NewClient(clientNode),
+		}
+	}
+
+	for i := 0; i < s; i++ {
+		seg := segs[i]
+		dst := segs[(i+1)%s]
+		every := o.RemoteEvery
+		if s == 1 {
+			every = 0 // a lone segment has no one to read from
+		}
+		seg.shard.Kernel().Spawn("shardscale-driver", func(p *sim.Proc) {
+			local := func() kv.Client { return seg.db.NewClient(seg.clientNode) }
+			ycsb.Load(p, local, seg.w, threadsPer, 0, seg.w.Spec.RecordCount)
+			seg.db.FlushAll()
+			p.Sleep(quiesce)
+			mixed := func() kv.Client {
+				return &remoteMixClient{Client: seg.db.NewClient(seg.clientNode), seg: seg, dst: dst, every: every}
+			}
+			seg.result = ycsb.Run(p, mixed, seg.w, ycsb.RunConfig{
+				Threads:        threadsPer,
+				Ops:            opsPer,
+				WarmupFraction: 0.1,
+			})
+		})
+	}
+	if err := g.Run(); err != nil {
+		return ShardScaleResult{}, err
+	}
+
+	res := ShardScaleResult{Shards: s}
+	for _, seg := range segs {
+		r := seg.result
+		res.Segments = append(res.Segments, ShardScaleSegment{
+			Ops:         r.MeasuredOps,
+			Throughput:  r.Throughput,
+			MeanLatency: r.MeanLatency(),
+			RemoteReads: seg.remote,
+			Errors:      r.Errors,
+		})
+		res.TotalOps += r.MeasuredOps
+		res.RemoteReads += seg.remote
+		res.Errors += r.Errors
+		res.Throughput += r.Throughput
+	}
+	return res, nil
+}

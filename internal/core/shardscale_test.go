@@ -1,0 +1,66 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func smokeShardScaleOptions() ShardScaleOptions {
+	o := DefaultShardScaleOptions()
+	o.TotalNodes = 16
+	o.TotalThreads = 64
+	o.TotalOps = 2_000
+	o.RecordsPerSegment = 400
+	return o
+}
+
+// TestShardScaleRuns checks the partitioned cell end to end at several
+// shard counts: the run completes, every segment measures ops, and the
+// cross-segment read traffic actually flows through the group's delivery
+// API (remote reads nonzero, no errors).
+func TestShardScaleRuns(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		o := smokeShardScaleOptions()
+		o.Shards = shards
+		res, err := RunShardScale(o)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if len(res.Segments) != shards {
+			t.Fatalf("shards=%d: %d segments", shards, len(res.Segments))
+		}
+		if res.Errors != 0 {
+			t.Errorf("shards=%d: %d errors", shards, res.Errors)
+		}
+		for i, seg := range res.Segments {
+			if seg.Ops == 0 {
+				t.Errorf("shards=%d segment %d measured no ops", shards, i)
+			}
+		}
+		if shards > 1 && res.RemoteReads == 0 {
+			t.Errorf("shards=%d: no cross-segment reads flowed", shards)
+		}
+		if shards == 1 && res.RemoteReads != 0 {
+			t.Errorf("shards=1: %d remote reads from a lone segment", res.RemoteReads)
+		}
+	}
+}
+
+// TestShardScaleDeterministic pins determinism for a fixed shard count:
+// repeated runs with the same seed must agree exactly — ops, throughput
+// bits, latencies, remote-read counts — whatever the host scheduling.
+func TestShardScaleDeterministic(t *testing.T) {
+	o := smokeShardScaleOptions()
+	o.Shards = 4
+	a, err := RunShardScale(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunShardScale(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same-seed shardscale runs differ:\n  a: %+v\n  b: %+v", a, b)
+	}
+}

@@ -16,6 +16,7 @@ func TestDetwalkGolden(t *testing.T)   { linttest.Run(t, lint.Detwalk, golden("d
 func TestHookguardGolden(t *testing.T) { linttest.Run(t, lint.Hookguard, golden("hookguard")) }
 func TestHotpathGolden(t *testing.T)   { linttest.Run(t, lint.Hotpath, golden("hotpath")) }
 func TestSeedflowGolden(t *testing.T)  { linttest.Run(t, lint.Seedflow, golden("seedflow")) }
+func TestShardsafeGolden(t *testing.T) { linttest.Run(t, lint.Shardsafe, golden("shardsafe")) }
 
 // TestMalformedDirective checks that an ignore directive without a reason
 // is itself reported rather than silently swallowing diagnostics.

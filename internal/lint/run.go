@@ -115,5 +115,5 @@ func suppressed(ignores map[string]map[int][]directive, dg Diagnostic) bool {
 
 // All returns the full simlint analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Detwalk, Hookguard, Hotpath, Seedflow}
+	return []*Analyzer{Detwalk, Hookguard, Hotpath, Seedflow, Shardsafe}
 }

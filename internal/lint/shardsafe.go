@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Shardsafe enforces the sharded kernel's isolation contract: shards share
+// no mutable state during a window, so a cross-shard delivery closure
+// (the fn argument of sim.Shard.Send) must carry plain data and reach
+// state only through the destination shard it is handed. Capturing the
+// *sending* side's kernel objects — a *sim.Proc, *sim.Kernel, *sim.Shard,
+// or *sim.ShardGroup visible at the send site — would let the closure
+// touch another shard's state while windows execute concurrently: a data
+// race the conservative synchronization cannot see and a determinism leak
+// even when it happens not to crash. The analyzer flags delivery closures
+// whose free variables have those types (directly or as fields reached
+// through a captured struct) and method values bound to them.
+var Shardsafe = &Analyzer{
+	Name:      "shardsafe",
+	Doc:       "cross-shard delivery closures must not capture the sending shard's kernel objects",
+	AppliesTo: simReachable,
+	Run:       runShardsafe,
+}
+
+func runShardsafe(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isShardSend(funcObj(pass.TypesInfo, call)) || len(call.Args) != 3 {
+				return true
+			}
+			switch arg := ast.Unparen(call.Args[2]).(type) {
+			case *ast.FuncLit:
+				checkDeliveryCaptures(pass, arg)
+			case *ast.SelectorExpr:
+				if sel, ok := pass.TypesInfo.Selections[arg]; ok && sel.Kind() == types.MethodVal {
+					if name := bannedShardType(sel.Recv()); name != "" {
+						pass.Reportf(arg.Pos(), "cross-shard delivery fn is a method bound to a %s on the sending side; deliver plain data and reach state through the *sim.Shard the closure receives", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDeliveryCaptures reports free variables of lit (identifiers
+// declared outside the literal) whose types are sending-side kernel
+// objects, and banned-typed fields reached through any captured struct.
+func checkDeliveryCaptures(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj, ok := pass.TypesInfo.ObjectOf(n).(*types.Var)
+			if !ok || obj.IsField() || !declaredOutside(lit, obj) {
+				return true
+			}
+			if name := bannedShardType(obj.Type()); name != "" {
+				pass.Reportf(n.Pos(), "cross-shard delivery fn captures %s %q from the sending shard; pass plain data (ids, keys, values) and reach state through the *sim.Shard it receives", name, n.Name)
+			}
+		case *ast.SelectorExpr:
+			sel, ok := pass.TypesInfo.Selections[n]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			if name := bannedShardType(pass.TypesInfo.TypeOf(n)); name != "" && capturedRoot(pass, lit, n.X) {
+				pass.Reportf(n.Pos(), "cross-shard delivery fn reaches a %s through a captured value; pass plain data and reach state through the *sim.Shard it receives", name)
+			}
+		}
+		return true
+	})
+}
+
+// capturedRoot reports whether the base expression bottoms out in an
+// identifier declared outside lit — i.e. the field chain starts at a
+// captured variable rather than at the delivered shard parameter or a
+// call result.
+func capturedRoot(pass *Pass, lit *ast.FuncLit, e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj, ok := pass.TypesInfo.ObjectOf(x).(*types.Var)
+			return ok && !obj.IsField() && declaredOutside(lit, obj)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func declaredOutside(lit *ast.FuncLit, obj types.Object) bool {
+	return obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()
+}
+
+// isShardSend reports whether fn is the sim kernel's cross-shard delivery
+// method (*Shard).Send. Matching is by package name rather than import
+// path so the golden-test stub package exercises the same code.
+func isShardSend(fn *types.Func) bool {
+	if fn == nil || fn.Name() != "Send" || fn.Pkg() == nil || fn.Pkg().Name() != "sim" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return bannedShardType(sig.Recv().Type()) == "*sim.Shard"
+}
+
+// bannedShardType returns the display name of t when it is (a pointer to)
+// one of the sim kernel objects a delivery closure must not capture, and
+// "" otherwise.
+func bannedShardType(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "sim" {
+		return ""
+	}
+	switch obj.Name() {
+	case "Proc", "Kernel", "Shard", "ShardGroup":
+		return "*sim." + obj.Name()
+	}
+	return ""
+}

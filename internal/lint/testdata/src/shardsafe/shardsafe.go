@@ -1,0 +1,75 @@
+// Package shardsafe is golden-test input for the shardsafe analyzer.
+package shardsafe
+
+import (
+	"cloudbench/internal/lint/testdata/src/shardsafe/sim"
+)
+
+type segment struct {
+	shard *sim.Shard
+	name  string
+}
+
+func okPlainData(s *sim.Shard, key string, n int) {
+	log := []string{}
+	s.Send(1, 10, func(ds *sim.Shard) { // ok: captures only plain data
+		_ = key
+		_ = n
+		_ = log
+	})
+}
+
+func okDestinationState(s *sim.Shard) {
+	s.Send(1, 10, func(ds *sim.Shard) { // ok: destination reached through the delivered shard
+		ds.Kernel().Go("worker", func(p *sim.Proc) {})
+		ds.Send(0, 10, func(*sim.Shard) {})
+	})
+}
+
+func okNonBannedFields(s *sim.Shard, seg *segment) {
+	s.Send(1, 10, func(ds *sim.Shard) {
+		_ = seg.name // ok: captured struct, but the field is plain data
+	})
+}
+
+func badShardCapture(s *sim.Shard) {
+	s.Send(1, 10, func(ds *sim.Shard) {
+		_ = s.ID() // want `captures \*sim\.Shard "s" from the sending shard`
+	})
+}
+
+func badProcCapture(s *sim.Shard, p *sim.Proc) {
+	s.Send(1, 10, func(*sim.Shard) {
+		_ = p // want `captures \*sim\.Proc "p" from the sending shard`
+	})
+}
+
+func badKernelCapture(s *sim.Shard) {
+	k := s.Kernel()
+	s.Send(1, 10, func(*sim.Shard) {
+		_ = k // want `captures \*sim\.Kernel "k" from the sending shard`
+	})
+}
+
+func badGroupCapture(s *sim.Shard, g *sim.ShardGroup) {
+	s.Send(1, 10, func(*sim.Shard) {
+		g.Shard(0) // want `captures \*sim\.ShardGroup "g" from the sending shard`
+	})
+}
+
+func badSmuggledShardField(s *sim.Shard, seg *segment) {
+	s.Send(1, 10, func(*sim.Shard) {
+		_ = seg.shard // want `reaches a \*sim\.Shard through a captured value`
+	})
+}
+
+func badMethodValue(s, other *sim.Shard) {
+	s.Send(1, 10, other.Handle) // want `method bound to a \*sim\.Shard on the sending side`
+}
+
+func suppressedCapture(s *sim.Shard) {
+	s.Send(1, 10, func(*sim.Shard) {
+		//simlint:ignore shardsafe single-threaded bring-up harness, shards never run concurrently here
+		_ = s.ID()
+	})
+}

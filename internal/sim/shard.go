@@ -1,0 +1,371 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded conservative parallel execution.
+//
+// A ShardGroup runs one simulation as N member kernels (shards), each with
+// its own timing wheel, worker pool, and RNG streams, so independent
+// regions of the model execute on separate host cores. Synchronization is
+// the classic conservative time-window scheme, made null-message-free by a
+// global barrier:
+//
+//	window     — all shards execute events in [W, W+L) concurrently, where
+//	             W is the minimum next-event time across shards and L is
+//	             the lookahead (the minimum cross-shard delivery latency,
+//	             derived from the topology — see cluster.PlanShards).
+//	barrier    — shards stop at the window end; staged cross-shard
+//	             messages are merged into their destination kernels; the
+//	             next window starts at the new global minimum.
+//	lockstep   — with zero lookahead the window degenerates to a single
+//	             instant: shards still run concurrently within the
+//	             instant (messages become visible only at the barrier),
+//	             but no shard may run ahead of another in virtual time.
+//
+// Why this is safe: a message sent from inside window [W, W+L) carries a
+// delay of at least L, so it is stamped at or after W+L — strictly beyond
+// the window every shard is executing. No shard can receive an event in
+// its past, so no rollback machinery is needed.
+//
+// Why this is deterministic, at every worker count: shards share no
+// mutable state during a window (cross-shard messages are staged in
+// per-source outbox rings, invisible to the destination until the
+// barrier), each member kernel is itself deterministic, and the barrier
+// merge orders messages by (t, source shard, source sequence) before
+// scheduling them. The whole run is therefore a pure function of the seed
+// and the model, bit-identical whether windows execute on 1 worker or 16.
+//
+// Cross-shard interaction happens only through Shard.Send. The delivery
+// closure runs in the destination shard's kernel context and must touch
+// only destination-shard state — the shardsafe simlint analyzer enforces
+// the capture rules statically.
+
+// xmsg is one staged cross-shard message: at time t on the destination
+// shard, run fn. src/seq make the barrier merge order total and
+// deterministic.
+type xmsg struct {
+	t   Time
+	src int
+	seq uint64
+	fn  func(*Shard)
+}
+
+// ShardGroup coordinates the member kernels of one sharded simulation.
+// Build the model across the shards' kernels before calling Run; like
+// Kernel, a group must not be touched from other host goroutines while it
+// runs.
+type ShardGroup struct {
+	seed      int64
+	lookahead Duration
+	workers   int
+	shards    []*Shard
+	active    []*Shard // scratch: shards with pending work this window
+
+	// solo is true while a solo-mode window runs (see RunUntil): the one
+	// running shard's first cross-shard Send must end the window, so Send
+	// sets the kernel's windowBreak flag when solo is up.
+	solo bool
+}
+
+// Shard is one member of a ShardGroup: a kernel plus the staging rings
+// for its outbound cross-shard messages.
+type Shard struct {
+	g   *ShardGroup
+	id  int
+	k   *Kernel
+	seq uint64       // send sequence, part of the deterministic merge key
+	out []ring[xmsg] // per-destination outbox, written only while this shard executes
+	in  []xmsg       // barrier-merge scratch, reused across windows
+}
+
+// NewShardGroup returns a group of n member kernels. Shard 0 is the home
+// shard and inherits the group seed unchanged, so a model built entirely
+// on shard 0 is byte-identical to the same model on a plain
+// NewKernel(seed); the remaining shards get splitmix-derived seeds.
+//
+// lookahead is the minimum cross-shard delivery latency the model
+// guarantees: every Shard.Send to another shard must carry a delay of at
+// least lookahead. Zero is legal and falls back to instant-by-instant
+// lockstep execution.
+func NewShardGroup(seed int64, n int, lookahead Duration) *ShardGroup {
+	if n < 1 {
+		panic("sim: ShardGroup needs at least one shard")
+	}
+	if lookahead < 0 {
+		panic("sim: negative lookahead")
+	}
+	g := &ShardGroup{seed: seed, lookahead: lookahead}
+	for i := 0; i < n; i++ {
+		shardSeed := seed
+		if i > 0 {
+			shardSeed = procSeed(seed, int64(i))
+		}
+		g.shards = append(g.shards, &Shard{
+			g:   g,
+			id:  i,
+			k:   NewKernel(shardSeed),
+			out: make([]ring[xmsg], n),
+		})
+	}
+	return g
+}
+
+// Shards returns the number of member kernels.
+func (g *ShardGroup) Shards() int { return len(g.shards) }
+
+// Shard returns the i'th member.
+func (g *ShardGroup) Shard(i int) *Shard { return g.shards[i] }
+
+// Lookahead returns the group's cross-shard lookahead.
+func (g *ShardGroup) Lookahead() Duration { return g.lookahead }
+
+// SetWorkers bounds how many shards execute concurrently per window;
+// 0 (the default) means one worker per available CPU. Results are
+// bit-identical for every value.
+func (g *ShardGroup) SetWorkers(n int) { g.workers = n }
+
+// ID returns the shard's index within its group.
+func (s *Shard) ID() int { return s.id }
+
+// Kernel returns the shard's member kernel. Use it to build the shard's
+// slice of the model before Run; while the group runs, only code executing
+// on this shard may touch it.
+func (s *Shard) Kernel() *Kernel { return s.k }
+
+// Group returns the group the shard belongs to.
+func (s *Shard) Group() *ShardGroup { return s.g }
+
+// Send schedules fn to run on shard dst, delay after the current virtual
+// time. fn executes in the destination kernel's event context (like
+// Kernel.After: it must not block, but may spawn processes on the
+// destination kernel) and receives the destination shard, through which it
+// can reach the destination kernel and send replies. It must touch only
+// destination-shard state; in particular it must not capture the sending
+// shard's *Proc, *Kernel, or *Shard (the shardsafe analyzer flags this).
+//
+// Sends to another shard must respect the group's lookahead: delay must be
+// at least Lookahead(). Sends to the shard itself have no lower bound and
+// are scheduled locally.
+func (s *Shard) Send(dst int, delay Duration, fn func(*Shard)) {
+	if fn == nil {
+		panic("sim: Shard.Send with nil fn")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	d := s.g.shards[dst] // panics on an out-of-range destination
+	t := s.k.now.Add(delay)
+	if d == s {
+		s.k.schedule(t, func() { fn(s) })
+		return
+	}
+	if delay < s.g.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard send %d->%d with delay %v below lookahead %v",
+			s.id, dst, delay, s.g.lookahead))
+	}
+	s.seq++
+	s.out[dst].push(xmsg{t: t, src: s.id, seq: s.seq, fn: fn})
+	if s.g.solo {
+		s.k.windowBreak = true
+	}
+}
+
+// Run executes the group until every shard drains. It returns a
+// *DeadlockError naming the blocked processes of every shard if the whole
+// group can make no further progress while processes remain live.
+func (g *ShardGroup) Run() error { return g.RunUntil(Time(1<<63 - 1)) }
+
+// RunUntil executes events with time ≤ limit across all shards. Events
+// beyond the limit stay queued, and reaching the limit is not a deadlock.
+func (g *ShardGroup) RunUntil(limit Time) error {
+	if len(g.shards) == 1 {
+		// A single-shard group has no cross-shard traffic at all (Send to
+		// self schedules locally), so the member kernel runs unwindowed —
+		// the run is the plain sequential kernel, byte for byte.
+		return g.shards[0].k.RunUntil(limit)
+	}
+	for {
+		g.deliver()
+		// The next window starts at the global minimum next-event time.
+		// Per-shard bounds may be coarse-slot lower bounds rather than
+		// exact event times; that only costs an empty window, never
+		// correctness, and each window strictly advances the bound.
+		w := Time(1<<63 - 1)
+		nActive := 0
+		var solo *Shard
+		for _, s := range g.shards {
+			if t, ok := s.k.nextPendingBound(); ok {
+				nActive++
+				solo = s
+				if t < w {
+					w = t
+				}
+			}
+		}
+		if nActive == 0 {
+			return g.finish()
+		}
+		if w > limit {
+			for _, s := range g.shards {
+				if s.k.now < limit {
+					s.k.now = limit
+				}
+			}
+			return nil
+		}
+		if nActive == 1 {
+			// Solo fast path: deliver just drained every outbox, so with
+			// all other shards idle nothing can reach the solo shard until
+			// it sends first. It may therefore run unbounded — no window
+			// chopping — until its first cross-shard Send, which sets the
+			// kernel's windowBreak flag and ends the window before any
+			// further event executes. The staged message is ≥ lookahead
+			// ahead of the send, and any reply another ≥ lookahead after
+			// that, so nothing lands in the solo shard's past. This is
+			// what makes home-shard experiments (-shards N with the whole
+			// model on shard 0) run at plain-kernel speed.
+			g.solo = true
+			solo.k.runWindow(limit)
+			g.solo = false
+			continue
+		}
+		end := w
+		if g.lookahead > 0 {
+			end = w.Add(g.lookahead) - 1
+		}
+		if end > limit {
+			end = limit
+		}
+		g.runWindow(end)
+	}
+}
+
+// finish resolves an all-idle group: a clean drain releases every shard's
+// worker pool; live processes with nothing pending anywhere are a
+// group-wide deadlock.
+func (g *ShardGroup) finish() error {
+	live := 0
+	var at Time
+	var blocked []string
+	for _, s := range g.shards {
+		live += s.k.live
+		if s.k.now > at {
+			at = s.k.now
+		}
+		blocked = append(blocked, s.k.blockedNames()...)
+	}
+	if live > 0 {
+		sort.Strings(blocked)
+		return &DeadlockError{Time: at, Blocked: blocked}
+	}
+	for _, s := range g.shards {
+		s.k.drainPools()
+	}
+	return nil
+}
+
+// deliver merges every staged cross-shard message into its destination
+// kernel. Per destination, messages from all sources are ordered by
+// (t, source shard, source seq) before scheduling, so the destination's
+// event sequence — and therefore the whole run — is independent of how
+// the previous window's shards interleaved on host CPUs.
+func (g *ShardGroup) deliver() {
+	for _, dst := range g.shards {
+		batch := dst.in[:0]
+		for _, src := range g.shards {
+			if src == dst {
+				continue
+			}
+			r := &src.out[dst.id]
+			for r.len() > 0 {
+				batch = append(batch, r.pop())
+			}
+		}
+		if len(batch) > 0 {
+			sort.Slice(batch, func(i, j int) bool {
+				a, b := batch[i], batch[j]
+				if a.t != b.t {
+					return a.t < b.t
+				}
+				if a.src != b.src {
+					return a.src < b.src
+				}
+				return a.seq < b.seq
+			})
+			for _, m := range batch {
+				fn := m.fn
+				//simlint:ignore hookguard Send panics on nil fn at enqueue, so every staged message carries one
+				dst.k.schedule(m.t, func() { fn(dst) })
+			}
+		}
+		dst.in = batch[:0]
+	}
+}
+
+// runWindow executes every shard with pending work up to the window end,
+// fanning the shards out across up to g.workers host goroutines. Shards
+// share no mutable state during a window, so any interleaving yields the
+// same result; a panic inside any shard (a model bug or a killed-process
+// unwind escaping) is re-raised on the calling goroutine, preferring the
+// lowest shard id when several windows panic at once so the report is
+// deterministic.
+func (g *ShardGroup) runWindow(end Time) {
+	active := g.active[:0]
+	for _, s := range g.shards {
+		if s.k.pending > 0 {
+			active = append(active, s)
+		}
+	}
+	g.active = active[:0] // retain backing array, not the stale entries
+	workers := g.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(active) {
+		workers = len(active)
+	}
+	if workers <= 1 {
+		for _, s := range active {
+			s.k.runWindow(end)
+		}
+		return
+	}
+	var (
+		next   atomic.Int64
+		panics = make([]*any, len(active))
+		wg     sync.WaitGroup
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(active) {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[i] = &r
+						}
+					}()
+					active[i].k.runWindow(end)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(*p)
+		}
+	}
+}

@@ -86,11 +86,11 @@ func (h *eventHeap) Pop() any {
 // all interaction must happen either before Run or from within simulation
 // processes.
 type Kernel struct {
-	now     Time
-	seq     uint64
-	pending int          // scheduled events that are neither fired nor canceled
-	fast    ring[*event] // same-instant FIFO lane (events at exactly now)
-	wheel   timerWheel
+	now      Time
+	seq      uint64
+	pending  int          // scheduled events that are neither fired nor canceled
+	fast     ring[*event] // same-instant FIFO lane (events at exactly now)
+	wheel    timerWheel
 	overflow eventHeap // timers ≥ wheelSpan ahead
 	due      []*event  // drained level-0 slot for the current instant, seq order
 	dueIdx   int
@@ -110,6 +110,12 @@ type Kernel struct {
 	// current is the process executing right now, nil when the kernel
 	// itself runs (between events).
 	current *Proc
+
+	// windowBreak asks runWindow to return after the current event. Only
+	// Shard.Send sets it, when a solo-mode window (see ShardGroup.RunUntil)
+	// stages the first cross-shard message and the unbounded window must
+	// end before any further event runs.
+	windowBreak bool
 
 	// waiting tracks processes parked on non-timer conditions (futures,
 	// resources, queues) so deadlock reports can name them.
@@ -597,6 +603,61 @@ func (k *Kernel) RunUntil(limit Time) error {
 	}
 	k.drainPools()
 	return nil
+}
+
+// runWindow is the shard-group member's event loop: identical event
+// execution to RunUntil, but reaching the limit with live processes and no
+// local events is not a deadlock (a cross-shard message may still arrive)
+// and the worker pool is not drained — both become group-level decisions
+// (ShardGroup.finish). k.now never moves backward.
+//
+//simlint:hotpath
+func (k *Kernel) runWindow(limit Time) {
+	if k.now > limit {
+		return
+	}
+	k.windowBreak = false
+	for k.pending > 0 {
+		e := k.pop(limit)
+		if e == nil {
+			return
+		}
+		fn := e.fn
+		e.fn = nil
+		k.pending--
+		k.recycle(e)
+		// See RunUntil: a nil fn is kernel corruption and must panic.
+		//simlint:ignore hookguard event fns are set by schedule; nil means kernel corruption and must panic
+		fn()
+		if k.windowBreak {
+			k.windowBreak = false
+			return
+		}
+	}
+}
+
+// nextPendingBound returns a lower bound on the time of the earliest
+// pending event, and whether any event is pending at all. The bound is
+// exact for fast-lane, due-batch, and overflow events; for wheel events it
+// is the occupied slot's lower bound, which is never later than the event
+// itself — good enough for a conservative window start.
+func (k *Kernel) nextPendingBound() (Time, bool) {
+	if k.pending == 0 {
+		return 0, false
+	}
+	if k.dueIdx < len(k.due) || k.fast.len() > 0 {
+		return k.now, true
+	}
+	t := Time(1<<63 - 1)
+	if k.wheel.count > 0 {
+		if _, lb := k.wheel.next(k.now); lb < t {
+			t = lb
+		}
+	}
+	if len(k.overflow) > 0 && k.overflow[0].t < t {
+		t = k.overflow[0].t
+	}
+	return t, true
 }
 
 func (k *Kernel) blockedNames() []string {
