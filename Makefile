@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-shard bench bench-kernel bench-shard lint vet trace
+.PHONY: all build test race race-shard bench bench-kernel bench-shard bench-spectrum lint vet trace
 
 all: build lint test
 
@@ -43,6 +43,14 @@ bench-shard:
 	$(GO) test -bench=ShardScale -benchmem -benchtime=3x -run='^$$' -timeout 30m . \
 		| $(GO) run ./cmd/benchjson -o BENCH_shard.json
 	@cat BENCH_shard.json
+
+# Replication-spectrum headline artifact: the three-backend grid at smoke
+# scale with the async object store's stale-% and t-visibility p99 as
+# reported metrics, archived beside the kernel numbers (DESIGN.md §11).
+bench-spectrum:
+	$(GO) test -bench=Spectrum -benchmem -benchtime=1x -run='^$$' -short -timeout 15m . \
+		| $(GO) run ./cmd/benchjson -o BENCH_spectrum.json
+	@cat BENCH_spectrum.json
 
 vet:
 	$(GO) vet ./...

@@ -229,6 +229,29 @@ func BenchmarkConsistencyAudit(b *testing.B) {
 	}
 }
 
+// BenchmarkSpectrum runs the three-backend replication-spectrum grid at
+// smoke scale, reporting the async object store's headline visibility
+// cost on the read-update anchor cell (async/read-one, RF 3, fastest
+// anti-entropy interval): the stale-read percentage and the p99 time to
+// all-replica visibility.
+func BenchmarkSpectrum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := core.SmokeOptions()
+		o.Seed = int64(i + 1)
+		res, err := core.RunSpectrum(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range res {
+			if m.DB == "ObjStore" && m.Level == "async/read-one" && m.Workload == "read-update" &&
+				!m.Fault && m.RF == 3 && m.ReplInterval == o.SpectrumReplIntervals[0] {
+				b.ReportMetric(100*m.Consistency.StaleFraction(), "stale-%")
+				b.ReportMetric(float64(m.Consistency.TVisAllP99.Microseconds())/1000, "tvis-p99-ms")
+			}
+		}
+	}
+}
+
 // BenchmarkOracleHooks measures the per-event cost of the consistency
 // oracle's write/read hooks, and — on the nil receiver, which is how the
 // databases run in every performance experiment — proves the disabled

@@ -34,7 +34,7 @@ func capture(t *testing.T, args ...string) string {
 // protect — any wall-clock read, global rand call, or map-order leak in
 // a sim-reachable package eventually shows up here as a diff.
 func TestSweepBitIdentical(t *testing.T) {
-	for _, experiment := range []string{"fig1", "audit"} {
+	for _, experiment := range []string{"fig1", "audit", "spectrum"} {
 		t.Run(experiment, func(t *testing.T) {
 			base := []string{"-experiment", experiment, "-profile", "smoke", "-csv", "-seed", "42"}
 			serial := capture(t, append(base, "-parallel", "1")...)
@@ -93,7 +93,7 @@ func TestTraceBitIdentical(t *testing.T) {
 // event stream), so any diff here means the window engine reordered,
 // duplicated, or dropped events.
 func TestShardedSweepBitIdentical(t *testing.T) {
-	experiments := []string{"fig1", "audit", "tracebreak"}
+	experiments := []string{"fig1", "audit", "spectrum", "tracebreak"}
 	if !testing.Short() {
 		experiments = append(experiments, "fig2", "fig3")
 	}

@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	replbench -experiment table1|fig1|fig2|fig3|audit|tracebreak|ablation-a1|ablation-a2|ablation-a3|geo|failover|sla|findings|all \
+//	replbench -experiment <name>|findings|all \
 //	          [-profile smoke|quick|paper] [-short] [-seed N] [-rf 1,2,3] [-parallel N] [-shards N] [-csv] [-o results.txt] [-trace-out trace.json]
 //
-// Sweeps fan their independent cells out across host CPUs (-parallel bounds
-// the worker pool; 0 means one worker per CPU). -shards additionally runs
+// The experiment names (table1, fig1, ..., spectrum) come from a single
+// registry; run with an unknown name to get the current list. Sweeps fan
+// their independent cells out across host CPUs (-parallel bounds the
+// worker pool; 0 means one worker per CPU). -shards additionally runs
 // each cell's kernel as a sharded group (see DESIGN §10). Every cell is a
 // deterministic simulation whose event order is independent of both knobs,
 // so the report is bit-identical whatever the parallelism or shard count.
@@ -37,6 +39,66 @@ import (
 // coreReadMostly adapts the read-mostly preset for the SLA search.
 func coreReadMostly(records int64) ycsb.Spec { return ycsb.ReadMostly(records) }
 
+// runContext carries the resolved options and output plumbing into each
+// experiment's runner.
+type runContext struct {
+	o        core.Options
+	w        io.Writer
+	csv      bool
+	findings *[]core.Finding
+	rfFlag   string // raw -rf value: some experiments re-default when unset
+	traceOut string
+	seed     int64
+}
+
+// render prints a table in the format -csv selected, followed by a blank
+// separator line.
+func (ctx *runContext) render(t *stats.Table) {
+	if ctx.csv {
+		t.CSV(ctx.w)
+	} else {
+		t.Render(ctx.w)
+	}
+	fmt.Fprintln(ctx.w)
+}
+
+// experiment is one registry entry. The -experiment usage string, the
+// dispatch, and the `all` order are all generated from this single list —
+// adding an experiment here is the whole wiring.
+type experiment struct {
+	name string
+	run  func(ctx *runContext) error
+}
+
+// experiments returns the registry in canonical (`all`) order.
+func experiments() []experiment {
+	return []experiment{
+		{"table1", runTable1},
+		{"fig1", runFig1},
+		{"fig2", runFig2},
+		{"fig3", runFig3},
+		{"audit", runAudit},
+		{"spectrum", runSpectrum},
+		{"tracebreak", runTracebreak},
+		{"ablation-a1", runAblationA1},
+		{"ablation-a2", runAblationA2},
+		{"ablation-a3", runAblationA3},
+		{"geo", runGeo},
+		{"failover", runFailover},
+		{"sla", runSLA},
+	}
+}
+
+// experimentNames renders the registry (plus the two pseudo-experiments)
+// for the usage string and the unknown-name error.
+func experimentNames() string {
+	var names []string
+	for _, e := range experiments() {
+		names = append(names, e.name)
+	}
+	return strings.Join(append(names, "findings", "all"), "|")
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "replbench:", err)
@@ -46,7 +108,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("replbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "table1, fig1, fig2, fig3, audit, tracebreak, ablation-a1, ablation-a2, ablation-a3, geo, failover, sla, findings, or all")
+	experimentFlag := fs.String("experiment", "all", experimentNames())
 	profile := fs.String("profile", "quick", "smoke, quick, or paper scale")
 	short := fs.Bool("short", false, "shorthand for -profile smoke")
 	traceOut := fs.String("trace-out", "", "write Chrome trace-event JSON for one span-retaining tracebreak cell to this file")
@@ -59,6 +121,20 @@ func run(args []string, stdout io.Writer) error {
 	out := fs.String("o", "", "also write the report to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	registry := experiments()
+	if *experimentFlag != "all" && *experimentFlag != "findings" {
+		known := false
+		for _, e := range registry {
+			if e.name == *experimentFlag {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown experiment %q (valid: %s)", *experimentFlag, experimentNames())
+		}
 	}
 
 	if *short {
@@ -111,152 +187,30 @@ func run(args []string, stdout io.Writer) error {
 		w = io.MultiWriter(stdout, f)
 	}
 
-	render := func(t *stats.Table) {
-		if *csv {
-			t.CSV(w)
-		} else {
-			t.Render(w)
-		}
-		fmt.Fprintln(w)
-	}
-
-	want := func(name string) bool { return *experiment == name || *experiment == "all" }
 	started := time.Now()
 	var findings []core.Finding
+	ctx := &runContext{
+		o:        o,
+		w:        w,
+		csv:      *csv,
+		findings: &findings,
+		rfFlag:   *rfList,
+		traceOut: *traceOut,
+		seed:     *seed,
+	}
 
-	if want("table1") {
-		if err := core.VerifyTable1(); err != nil {
+	for _, e := range registry {
+		if *experimentFlag != e.name && *experimentFlag != "all" {
+			continue
+		}
+		if e.run == nil {
+			continue
+		}
+		if err := e.run(ctx); err != nil {
 			return err
 		}
-		render(core.Table1())
 	}
-	if want("fig1") {
-		res, err := core.RunFig1(o)
-		if err != nil {
-			return err
-		}
-		for _, f := range res.Figures() {
-			render(f.Table())
-		}
-		render(res.Table())
-		findings = append(findings, core.CheckFig1(res)...)
-	}
-	if want("fig2") {
-		res, err := core.RunFig2(o)
-		if err != nil {
-			return err
-		}
-		for _, f := range res.ThroughputFigures() {
-			render(f.Table())
-		}
-		for _, f := range res.LatencyFigures() {
-			render(f.Table())
-		}
-		findings = append(findings, core.CheckFig2(res)...)
-	}
-	if want("fig3") {
-		res, err := core.RunFig3(o)
-		if err != nil {
-			return err
-		}
-		for _, f := range res.Figures() {
-			render(f.Table())
-		}
-		findings = append(findings, core.CheckFig3(res)...)
-	}
-	if want("audit") {
-		res, err := core.RunConsistencyAudit(o)
-		if err != nil {
-			return err
-		}
-		render(res.Table())
-		findings = append(findings, core.CheckAudit(res)...)
-	}
-	if want("tracebreak") {
-		to := o
-		if *rfList == "" {
-			// The per-phase decomposition is about how shares move with
-			// the replication factor (F4's read-repair growth needs at
-			// least RF 3..6); sweep the full range at every profile scale
-			// unless -rf narrowed it explicitly.
-			to.ReplicationFactors = []int{1, 2, 3, 4, 5, 6}
-		}
-		res, err := core.RunTraceBreakdown(to)
-		if err != nil {
-			return err
-		}
-		// The decomposition is a long narrow table meant for downstream
-		// plotting; emit CSV regardless of -csv.
-		res.Table().CSV(w)
-		fmt.Fprintln(w)
-		findings = append(findings, core.CheckTrace(res)...)
-		if *traceOut != "" {
-			_, spans, err := core.RunTraceSpans(to, core.TraceSpanKeep)
-			if err != nil {
-				return err
-			}
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				return err
-			}
-			if err := trace.WriteChrome(f, spans); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "wrote %d spans to %s (chrome://tracing / Perfetto format)\n\n", len(spans), *traceOut)
-		}
-	}
-	if want("ablation-a1") {
-		fig, err := core.AblationReadRepair(o)
-		if err != nil {
-			return err
-		}
-		render(fig.Table())
-	}
-	if want("ablation-a2") {
-		fig, err := core.AblationHBaseSyncRepl(o)
-		if err != nil {
-			return err
-		}
-		render(fig.Table())
-	}
-	if want("ablation-a3") {
-		fig, err := core.AblationClientThreads(o, nil, 3000)
-		if err != nil {
-			return err
-		}
-		render(fig.Table())
-	}
-	if want("geo") {
-		g := core.DefaultGeoOptions()
-		g.Seed = *seed
-		res, err := core.RunGeo(g)
-		if err != nil {
-			return err
-		}
-		render(res.Table())
-	}
-	if want("failover") {
-		fo := core.DefaultFailoverOptions()
-		fo.Seed = *seed
-		res, err := core.RunFailover(fo)
-		if err != nil {
-			return err
-		}
-		render(res.ThroughputFigure().Table())
-		render(res.Figure().Table())
-	}
-	if want("sla") {
-		res, err := core.RunSLASearch(o, "Cassandra", 3, coreReadMostly, core.SLA{Percentile: 95, Limit: 20 * time.Millisecond}, 6)
-		if err != nil {
-			return err
-		}
-		render(res.Table())
-	}
-	if len(findings) > 0 || *experiment == "findings" {
+	if len(findings) > 0 || *experimentFlag == "findings" {
 		fmt.Fprintln(w, "Findings versus the paper's qualitative claims:")
 		for _, f := range findings {
 			fmt.Fprintln(w, " ", f)
@@ -264,5 +218,171 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "done in %v (wall clock)\n", time.Since(started).Round(time.Second))
+	return nil
+}
+
+func runTable1(ctx *runContext) error {
+	if err := core.VerifyTable1(); err != nil {
+		return err
+	}
+	ctx.render(core.Table1())
+	return nil
+}
+
+func runFig1(ctx *runContext) error {
+	res, err := core.RunFig1(ctx.o)
+	if err != nil {
+		return err
+	}
+	for _, f := range res.Figures() {
+		ctx.render(f.Table())
+	}
+	ctx.render(res.Table())
+	*ctx.findings = append(*ctx.findings, core.CheckFig1(res)...)
+	return nil
+}
+
+func runFig2(ctx *runContext) error {
+	res, err := core.RunFig2(ctx.o)
+	if err != nil {
+		return err
+	}
+	for _, f := range res.ThroughputFigures() {
+		ctx.render(f.Table())
+	}
+	for _, f := range res.LatencyFigures() {
+		ctx.render(f.Table())
+	}
+	*ctx.findings = append(*ctx.findings, core.CheckFig2(res)...)
+	return nil
+}
+
+func runFig3(ctx *runContext) error {
+	res, err := core.RunFig3(ctx.o)
+	if err != nil {
+		return err
+	}
+	for _, f := range res.Figures() {
+		ctx.render(f.Table())
+	}
+	*ctx.findings = append(*ctx.findings, core.CheckFig3(res)...)
+	return nil
+}
+
+func runAudit(ctx *runContext) error {
+	res, err := core.RunConsistencyAudit(ctx.o)
+	if err != nil {
+		return err
+	}
+	ctx.render(res.Table())
+	*ctx.findings = append(*ctx.findings, core.CheckAudit(res)...)
+	return nil
+}
+
+func runSpectrum(ctx *runContext) error {
+	res, err := core.RunSpectrum(ctx.o)
+	if err != nil {
+		return err
+	}
+	ctx.render(res.Table())
+	*ctx.findings = append(*ctx.findings, core.CheckSpectrum(ctx.o, res)...)
+	return nil
+}
+
+func runTracebreak(ctx *runContext) error {
+	to := ctx.o
+	if ctx.rfFlag == "" {
+		// The per-phase decomposition is about how shares move with
+		// the replication factor (F4's read-repair growth needs at
+		// least RF 3..6); sweep the full range at every profile scale
+		// unless -rf narrowed it explicitly.
+		to.ReplicationFactors = []int{1, 2, 3, 4, 5, 6}
+	}
+	res, err := core.RunTraceBreakdown(to)
+	if err != nil {
+		return err
+	}
+	// The decomposition is a long narrow table meant for downstream
+	// plotting; emit CSV regardless of -csv.
+	res.Table().CSV(ctx.w)
+	fmt.Fprintln(ctx.w)
+	*ctx.findings = append(*ctx.findings, core.CheckTrace(res)...)
+	if ctx.traceOut != "" {
+		_, spans, err := core.RunTraceSpans(to, core.TraceSpanKeep)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(ctx.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChrome(f, spans); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(ctx.w, "wrote %d spans to %s (chrome://tracing / Perfetto format)\n\n", len(spans), ctx.traceOut)
+	}
+	return nil
+}
+
+func runAblationA1(ctx *runContext) error {
+	fig, err := core.AblationReadRepair(ctx.o)
+	if err != nil {
+		return err
+	}
+	ctx.render(fig.Table())
+	return nil
+}
+
+func runAblationA2(ctx *runContext) error {
+	fig, err := core.AblationHBaseSyncRepl(ctx.o)
+	if err != nil {
+		return err
+	}
+	ctx.render(fig.Table())
+	return nil
+}
+
+func runAblationA3(ctx *runContext) error {
+	fig, err := core.AblationClientThreads(ctx.o, nil, 3000)
+	if err != nil {
+		return err
+	}
+	ctx.render(fig.Table())
+	return nil
+}
+
+func runGeo(ctx *runContext) error {
+	g := core.DefaultGeoOptions()
+	g.Seed = ctx.seed
+	res, err := core.RunGeo(g)
+	if err != nil {
+		return err
+	}
+	ctx.render(res.Table())
+	return nil
+}
+
+func runFailover(ctx *runContext) error {
+	fo := core.DefaultFailoverOptions()
+	fo.Seed = ctx.seed
+	res, err := core.RunFailover(fo)
+	if err != nil {
+		return err
+	}
+	ctx.render(res.ThroughputFigure().Table())
+	ctx.render(res.Figure().Table())
+	return nil
+}
+
+func runSLA(ctx *runContext) error {
+	res, err := core.RunSLASearch(ctx.o, "Cassandra", 3, coreReadMostly, core.SLA{Percentile: 95, Limit: 20 * time.Millisecond}, 6)
+	if err != nil {
+		return err
+	}
+	ctx.render(res.Table())
 	return nil
 }

@@ -54,6 +54,26 @@ func TestRunAuditSmokeCSV(t *testing.T) {
 	}
 }
 
+func TestRunSpectrumSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "spectrum", "-profile", "smoke"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// One report carries all three backends side by side, plus the four
+	// spectrum findings.
+	for _, want := range []string{"Replication spectrum", "HBase", "Cassandra", "ObjStore",
+		"async/read-one", "async/read-quorum", "repl-interval",
+		"FS1", "FS2", "FS3", "FS4", "done in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "✗") {
+		t.Errorf("spectrum finding failed at smoke scale:\n%s", out)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-experiment", "table1", "-profile", "bogus"}, &b); err == nil {
@@ -61,6 +81,30 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-experiment", "table1", "-rf", "1,x"}, &b); err == nil {
 		t.Error("bad rf list accepted")
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-experiment", "bogus"}, &b)
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	// The error lists the registry so the valid names never drift from the
+	// dispatch.
+	for _, want := range []string{"bogus", "table1", "spectrum", "findings", "all"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-experiment error missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestUsageListsRegistry(t *testing.T) {
+	names := experimentNames()
+	for _, e := range experiments() {
+		if !strings.Contains(names, e.name) {
+			t.Errorf("usage string missing experiment %q", e.name)
+		}
 	}
 }
 

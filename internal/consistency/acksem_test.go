@@ -1,0 +1,102 @@
+package consistency
+
+import (
+	"testing"
+
+	"cloudbench/internal/sim"
+)
+
+// asyncSchedule drives a crafted ack-before-replicate delivery order
+// against an oracle: v1 fully replicated, then v2 acked after a single
+// replica while its asynchronous replication to replicas 1 and 2 is still
+// in flight. The client observes v2 (from the fresh replica) and then
+// regresses to v1 (from a replica the async job has not reached yet).
+func asyncSchedule(o *Oracle) (client int) {
+	o.BeginMeasure(0)
+	client = o.RegisterClient()
+
+	// v1: written and fully replicated across all three replicas.
+	o.WriteBegin(k1, 1, 3, sim.Time(0))
+	for rep := 0; rep < 3; rep++ {
+		o.ReplicaApply(k1, 1, rep, ApplyWrite, sim.Time(10+sim.Time(rep)))
+	}
+	o.WriteAck(k1, 1, sim.Time(20))
+
+	// v2: acked after the W=1 local apply; replication still in flight.
+	o.WriteBegin(k1, 2, 3, sim.Time(100))
+	o.ReplicaApply(k1, 2, 0, ApplyWrite, sim.Time(110))
+	o.WriteAck(k1, 2, sim.Time(120))
+
+	// The client sees v2, then regresses to v1 from a lagging replica.
+	o.ReadObserved(client, k1, 2, sim.Time(200))
+	o.ReadObserved(client, k1, 1, sim.Time(300))
+	return client
+}
+
+// TestAsyncAckRegressionNotViolation: under AckAsync the regression during
+// in-flight replication is classified as an async regression, not a
+// monotonic-read violation — while staleness accounting is untouched.
+func TestAsyncAckRegressionNotViolation(t *testing.T) {
+	o := New()
+	o.SetAckSemantics(AckAsync)
+	client := asyncSchedule(o)
+
+	r := o.Report()
+	if r.MonotonicViolations != 0 {
+		t.Fatalf("monotonic violations = %d, want 0 under AckAsync", r.MonotonicViolations)
+	}
+	if r.AsyncRegressions != 1 {
+		t.Fatalf("async regressions = %d, want 1", r.AsyncRegressions)
+	}
+	// The regressed read is still stale: v2 was acked before it began.
+	if r.StaleReads != 1 {
+		t.Fatalf("stale reads = %d, want 1 (classification must not change staleness)", r.StaleReads)
+	}
+
+	// After v2 reaches every replica, regressing again is a genuine
+	// violation even under async semantics.
+	o.ReplicaApply(k1, 2, 1, ApplyWrite, sim.Time(400))
+	o.ReplicaApply(k1, 2, 2, ApplyWrite, sim.Time(410))
+	o.ReadObserved(client, k1, 1, sim.Time(500))
+	r = o.Report()
+	if r.MonotonicViolations != 1 || r.AsyncRegressions != 1 {
+		t.Fatalf("after full replication: mono=%d async=%d, want 1/1",
+			r.MonotonicViolations, r.AsyncRegressions)
+	}
+}
+
+// TestSyncAckKeepsViolation: the same schedule under the default AckSync
+// semantics counts the regression as a monotonic-read violation, exactly
+// as before the semantics became a parameter.
+func TestSyncAckKeepsViolation(t *testing.T) {
+	o := New()
+	asyncSchedule(o)
+	r := o.Report()
+	if r.MonotonicViolations != 1 || r.AsyncRegressions != 0 {
+		t.Fatalf("mono=%d async=%d, want 1/0 under AckSync", r.MonotonicViolations, r.AsyncRegressions)
+	}
+}
+
+// TestAsyncRegressionBoundary: a read that starts exactly when the last
+// replica applies is not excused — the write was fully visible by then.
+func TestAsyncRegressionBoundary(t *testing.T) {
+	o := New()
+	o.SetAckSemantics(AckAsync)
+	o.BeginMeasure(0)
+	client := o.RegisterClient()
+	o.WriteBegin(k1, 1, 2, sim.Time(0))
+	o.ReplicaApply(k1, 1, 0, ApplyWrite, sim.Time(5))
+	o.ReplicaApply(k1, 1, 1, ApplyWrite, sim.Time(6))
+	o.WriteAck(k1, 1, sim.Time(10))
+	o.WriteBegin(k1, 2, 2, sim.Time(20))
+	o.ReplicaApply(k1, 2, 0, ApplyWrite, sim.Time(25))
+	o.WriteAck(k1, 2, sim.Time(30))
+	o.ReadObserved(client, k1, 2, sim.Time(40))
+	o.ReplicaApply(k1, 2, 1, ApplyWrite, sim.Time(50))
+	// Starts at the apply instant: fully replicated, so a violation.
+	o.ReadObserved(client, k1, 1, sim.Time(50))
+	if r := o.Report(); r.MonotonicViolations != 1 || r.AsyncRegressions != 0 {
+		t.Fatalf("mono=%d async=%d, want 1/0 at the visibility boundary",
+			r.MonotonicViolations, r.AsyncRegressions)
+	}
+}

@@ -49,6 +49,28 @@ const (
 	applySources
 )
 
+// AckSemantics tells the oracle what a write acknowledgement promises
+// about replica visibility, which controls how a client re-observing an
+// older version is classified.
+type AckSemantics int
+
+const (
+	// AckSync (the default) is for databases whose ack means the write
+	// reached its consistency-level replica set synchronously (HBase,
+	// Cassandra): a client observing an older version than it already saw
+	// is always a monotonic-read violation.
+	AckSync AckSemantics = iota
+	// AckAsync is for ack-before-replicate databases (objstore): the ack
+	// only promises one durable copy, and replication to the rest of the
+	// replica set is explicitly asynchronous. A client re-observing an
+	// older version while the newer write's replication is still in
+	// flight is the documented behavior, not a violation; it is counted
+	// separately as an async regression. Once the newer write has reached
+	// every replica, going backwards again is a genuine violation under
+	// either semantics.
+	AckAsync
+)
+
 // maxWritesPerKey bounds the per-key write history. When a hot key
 // exceeds it, the oldest quarter is dropped; version-lag counts only look
 // at writes newer than the returned version, so pruning fully-visible old
@@ -66,6 +88,7 @@ type write struct {
 	applied  map[int]sim.Time
 	qDone    bool
 	aDone    bool
+	allAt    sim.Time // when the last replica applied (valid once aDone)
 }
 
 // keyState is the tracked history of one key, writes in ascending version
@@ -104,6 +127,7 @@ func (ks *keyState) find(ver kv.Version) *write {
 type Oracle struct {
 	measuring    bool
 	measureStart sim.Time
+	ackSem       AckSemantics
 
 	keys     map[kv.Key]*keyState
 	lastSeen []map[kv.Key]kv.Version // per registered client
@@ -111,6 +135,7 @@ type Oracle struct {
 	reads, stale    int64
 	lagSum, lagMax  int64
 	monotonic       int64
+	asyncRegress    int64
 	writesBegun     int64
 	writesAcked     int64
 	applies         [applySources]int64
@@ -138,6 +163,18 @@ func (o *Oracle) RegisterClient() int {
 	}
 	o.lastSeen = append(o.lastSeen, make(map[kv.Key]kv.Version))
 	return len(o.lastSeen) - 1
+}
+
+// SetAckSemantics declares what this database's write acks promise about
+// replica visibility (default AckSync). Call before attaching the oracle;
+// it reclassifies monotonic-read regressions only, never staleness —
+// stale-read fractions stay comparable across backends regardless of ack
+// semantics.
+func (o *Oracle) SetAckSemantics(s AckSemantics) {
+	if o == nil {
+		return
+	}
+	o.ackSem = s
 }
 
 // BeginMeasure marks the start of the measurement window (the workload
@@ -232,6 +269,7 @@ func (o *Oracle) ReplicaApply(key kv.Key, ver kv.Version, replica int, src Apply
 	}
 	if !w.aDone && n >= w.replicas {
 		w.aDone = true
+		w.allAt = t
 		if w.measured {
 			o.tvisA.Record(t.Sub(w.begin))
 			o.visibleMeasured++
@@ -277,13 +315,39 @@ func (o *Oracle) ReadObserved(client int, key kv.Key, ver kv.Version, start sim.
 		m := o.lastSeen[client]
 		if prev, ok := m[key]; ok && ver < prev {
 			if counted {
-				o.monotonic++
+				if o.ackSem == AckAsync && o.replicationInFlight(key, prev, start) {
+					// Under ack-before-replicate semantics the newer
+					// version this client saw earlier was still
+					// propagating when this read began; regressing to an
+					// older replica is the advertised behavior, not a
+					// monotonicity bug in the database.
+					o.asyncRegress++
+				} else {
+					o.monotonic++
+				}
 			}
 		}
 		if ver > m[key] {
 			m[key] = ver
 		}
 	}
+}
+
+// replicationInFlight reports whether the write of key at version ver had
+// not yet reached every replica when a read starting at start was issued.
+// An untracked (pruned) write is treated as fully replicated: pruning only
+// drops old, long-visible history, and the conservative answer keeps
+// genuine violations counted.
+func (o *Oracle) replicationInFlight(key kv.Key, ver kv.Version, start sim.Time) bool {
+	ks := o.keys[key]
+	if ks == nil {
+		return false
+	}
+	w := ks.find(ver)
+	if w == nil {
+		return false
+	}
+	return !w.aDone || w.allAt > start
 }
 
 // Report is a snapshot of the oracle's metrics over the measurement
@@ -298,8 +362,16 @@ type Report struct {
 	MeanLag float64
 	MaxLag  int64
 	// MonotonicViolations counts window reads that observed an older
-	// version of a key than the same client had already observed.
+	// version of a key than the same client had already observed. Under
+	// AckAsync semantics, regressions explained by still-in-flight
+	// asynchronous replication are excluded and reported as
+	// AsyncRegressions instead.
 	MonotonicViolations int64
+	// AsyncRegressions counts window reads that went backwards while the
+	// newer version's replication was still in flight — the expected
+	// visibility cost of ack-before-replicate, only accumulated under
+	// AckAsync semantics.
+	AsyncRegressions int64
 
 	// Write lifecycle totals (whole run, including warmup).
 	WritesBegun, WritesAcked int64
@@ -339,6 +411,7 @@ func (o *Oracle) Report() Report {
 		StaleReads:          o.stale,
 		MaxLag:              o.lagMax,
 		MonotonicViolations: o.monotonic,
+		AsyncRegressions:    o.asyncRegress,
 		WritesBegun:         o.writesBegun,
 		WritesAcked:         o.writesAcked,
 		WriteApplies:        o.applies[ApplyWrite],

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"time"
+
 	"cloudbench/internal/cassandra"
 	"cloudbench/internal/cluster"
 	"cloudbench/internal/hbase"
 	"cloudbench/internal/kv"
+	"cloudbench/internal/objstore"
 	"cloudbench/internal/sim"
 	"cloudbench/internal/storage"
 	"cloudbench/internal/ycsb"
@@ -21,8 +24,9 @@ type deployment struct {
 	gc         *cluster.GCController
 
 	// backends, exactly one non-nil
-	hb *hbase.DB
-	ca *cassandra.DB
+	hb  *hbase.DB
+	ca  *cassandra.DB
+	obj *objstore.DB
 }
 
 // engineConfig derives the storage engine configuration for an experiment.
@@ -125,14 +129,49 @@ func deployCassandra(o Options, rf int, readCL, writeCL kv.ConsistencyLevel) *de
 	return d
 }
 
+// deployObjstore provisions the Swift-style object store at the given
+// replication factor, anti-entropy interval, and read policy. Unlike
+// Cassandra's periodic commitlog sync, the engine keeps SyncWAL: the W=1
+// ack's entire promise is one durable copy.
+func deployObjstore(o Options, rf int, interval time.Duration, mode objstore.ReadMode) *deployment {
+	k, clus, group := newKernelAndCluster(o)
+	servers := clus.Nodes[:o.ServerNodes]
+	clientNode := clus.Nodes[o.ServerNodes]
+
+	cfg := objstore.DefaultConfig()
+	cfg.Replication = rf
+	cfg.Engine = engineConfig(o)
+	cfg.ReadMode = mode
+	cfg.ReplicatorInterval = interval
+	db := objstore.New(k, cfg, servers)
+
+	d := &deployment{
+		k:          k,
+		group:      group,
+		clus:       clus,
+		clientNode: clientNode,
+		newClient:  func() kv.Client { return db.NewClient(clientNode) },
+		flush:      db.FlushAll,
+		obj:        db,
+	}
+	if o.EnableGC {
+		d.gc = cluster.StartGC(k, o.GC, servers)
+	}
+	return d
+}
+
 // drive runs fn as the benchmark driver process and executes the
-// simulation to completion, stopping the GC pause processes once the
-// driver finishes so the kernel can drain.
+// simulation to completion, stopping the GC pause processes and the
+// object store's anti-entropy daemon once the driver finishes so the
+// kernel can drain.
 func (d *deployment) drive(fn func(p *sim.Proc)) error {
 	d.k.Spawn("bench-driver", func(p *sim.Proc) {
 		defer func() {
 			if d.gc != nil {
 				d.gc.Stop()
+			}
+			if d.obj != nil {
+				d.obj.Stop()
 			}
 		}()
 		fn(p)

@@ -108,6 +108,12 @@ type Options struct {
 	MemReplication   bool    // HBase in-memory replication (A2: set false)
 	RegionsPerServer int
 
+	// SpectrumReplIntervals is the object store's anti-entropy period
+	// sweep for the replication-spectrum experiment, ascending. The first
+	// (fastest) interval anchors the cross-backend comparison cells; the
+	// rest extend the interval sweep and the fault cells.
+	SpectrumReplIntervals []time.Duration
+
 	// MutationStageDelay is Cassandra's per-mutation replica-stage
 	// scheduling jitter (cassandra.Config.MutationStageMeanDelay). The
 	// performance experiments leave it zero — the fan-out then delivers
@@ -172,6 +178,9 @@ func QuickOptions() Options {
 		ReadRepairChance: 1.0,
 		MemReplication:   true,
 		RegionsPerServer: 4,
+		SpectrumReplIntervals: []time.Duration{
+			200 * time.Millisecond, time.Second, 5 * time.Second,
+		},
 	}
 }
 
@@ -190,6 +199,7 @@ func SmokeOptions() Options {
 	o.MicroThreads = 24
 	o.ReplicationFactors = []int{1, 3}
 	o.Fig3TargetFractions = []float64{0.5, 1.0}
+	o.SpectrumReplIntervals = []time.Duration{200 * time.Millisecond, 2 * time.Second}
 	return o
 }
 

@@ -1,0 +1,23 @@
+package hbase
+
+import (
+	"testing"
+
+	"cloudbench/internal/kv"
+	"cloudbench/internal/sim"
+)
+
+// TestClientConformance runs the shared kv.Client conformance suite on an
+// HBase deployment — the strong-consistency control, where the contract
+// holds trivially at any replication factor.
+func TestClientConformance(t *testing.T) {
+	k := sim.NewKernel(7)
+	_, client := testDB(k, 4, 3)
+	kv.RunConformance(t, kv.Harness{
+		NewClient: func() kv.Client { return client },
+		Drive: func(fn func(p *sim.Proc)) error {
+			k.Spawn("conformance", fn)
+			return k.Run()
+		},
+	})
+}

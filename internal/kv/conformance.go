@@ -1,0 +1,145 @@
+package kv
+
+import (
+	"fmt"
+
+	"cloudbench/internal/sim"
+)
+
+// T is the subset of *testing.T the conformance suite needs. Taking an
+// interface keeps the testing package out of the non-test build while
+// letting each backend's _test.go pass its *testing.T straight through.
+type T interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// Harness adapts one backend deployment to the shared conformance suite.
+// Every database implementing Client — whatever its replication and
+// consistency machinery — must present the same data-model semantics:
+// partial-record merge, last-write-wins version ordering, lexicographic
+// scans, and not-found discipline. The suite encodes those once instead
+// of each backend re-implementing overlapping ad-hoc tests.
+type Harness struct {
+	// NewClient returns a fresh client session on the deployment.
+	NewClient func() Client
+	// Drive runs fn as a simulation process and executes the simulation
+	// to completion (deployments wrap their kernel/group Run here).
+	Drive func(fn func(p *sim.Proc)) error
+}
+
+// RunConformance exercises h's backend against the shared kv.Client
+// contract. The driven workload is deterministic; any scheduling the
+// backend does underneath (replication, repair, anti-entropy) must not
+// change what a single client observes from its own writes.
+func RunConformance(t T, h Harness) {
+	t.Helper()
+	if h.NewClient == nil {
+		t.Fatalf("kv conformance: Harness.NewClient is required")
+		return
+	}
+	if h.Drive == nil {
+		t.Fatalf("kv conformance: Harness.Drive is required")
+		return
+	}
+	c := h.NewClient()
+	err := h.Drive(func(p *sim.Proc) {
+		conformRead := func(key Key, fields []string) (Record, error) {
+			return c.Read(p, key, fields)
+		}
+
+		// Not-found discipline: a never-written key is ErrNotFound.
+		if _, err := conformRead("conf-missing", nil); err != ErrNotFound {
+			t.Errorf("read of missing key: err=%v, want ErrNotFound", err)
+		}
+
+		// Full-record insert reads back intact, and field projection
+		// restricts without dropping present fields.
+		full := Record{"f0": ByteValue([]byte("a0")), "f1": ByteValue([]byte("b0")), "f2": SizedValue(64)}
+		if err := c.Insert(p, "conf-a", full); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+		got, err := conformRead("conf-a", nil)
+		if err != nil {
+			t.Fatalf("read after insert: %v", err)
+		}
+		if len(got) != 3 || string(got["f0"].Data) != "a0" || string(got["f1"].Data) != "b0" {
+			t.Errorf("read after insert: got %v", got)
+		}
+		proj, err := conformRead("conf-a", []string{"f1"})
+		if err != nil || len(proj) != 1 || string(proj["f1"].Data) != "b0" {
+			t.Errorf("projected read: got %v err=%v", proj, err)
+		}
+
+		// Partial-record merge: updating one field leaves the others at
+		// their newest prior values.
+		if err := c.Update(p, "conf-a", Record{"f1": ByteValue([]byte("b1"))}); err != nil {
+			t.Fatalf("partial update: %v", err)
+		}
+		got, err = conformRead("conf-a", nil)
+		if err != nil {
+			t.Fatalf("read after partial update: %v", err)
+		}
+		if string(got["f0"].Data) != "a0" || string(got["f1"].Data) != "b1" {
+			t.Errorf("partial merge: got f0=%q f1=%q, want a0/b1", got["f0"].Data, got["f1"].Data)
+		}
+
+		// Version ordering: the later of two writes to the same field
+		// wins (last-write-wins as the client issued them).
+		if err := c.Update(p, "conf-a", Record{"f1": ByteValue([]byte("b2"))}); err != nil {
+			t.Fatalf("second update: %v", err)
+		}
+		got, err = conformRead("conf-a", nil)
+		if err != nil || string(got["f1"].Data) != "b2" {
+			t.Errorf("last-write-wins: got f1=%q err=%v, want b2", got["f1"].Data, err)
+		}
+
+		// Scan ordering: lexicographic by key, limit honored, live rows
+		// only.
+		for i := 0; i < 5; i++ {
+			key := Key(fmt.Sprintf("conf-s%02d", i))
+			if err := c.Insert(p, key, Record{"f0": SizedValue(16)}); err != nil {
+				t.Fatalf("scan insert %s: %v", key, err)
+			}
+		}
+		rows, err := c.Scan(p, "conf-s", 4, nil)
+		if err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		if len(rows) != 4 {
+			t.Errorf("scan limit: got %d rows, want 4", len(rows))
+		}
+		for i, r := range rows {
+			want := Key(fmt.Sprintf("conf-s%02d", i))
+			if r.Key != want {
+				t.Errorf("scan order: row %d key %q, want %q", i, r.Key, want)
+			}
+		}
+
+		// Delete discipline: a deleted key is ErrNotFound and leaves the
+		// scan range.
+		if err := c.Delete(p, "conf-s00"); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+		if _, err := conformRead("conf-s00", nil); err != ErrNotFound {
+			t.Errorf("read after delete: err=%v, want ErrNotFound", err)
+		}
+		rows, err = c.Scan(p, "conf-s", 5, nil)
+		if err != nil || len(rows) != 4 || rows[0].Key != "conf-s01" {
+			t.Errorf("scan after delete: rows=%v err=%v, want 4 rows from conf-s01", rows, err)
+		}
+
+		// Re-insert after delete resurrects the key with the new value.
+		if err := c.Insert(p, "conf-s00", Record{"f0": ByteValue([]byte("back"))}); err != nil {
+			t.Fatalf("re-insert: %v", err)
+		}
+		got, err = conformRead("conf-s00", nil)
+		if err != nil || string(got["f0"].Data) != "back" {
+			t.Errorf("read after re-insert: got %v err=%v", got, err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("conformance drive: %v", err)
+	}
+}

@@ -66,6 +66,22 @@ func (db *DB) shortCircuit(v int) {
 
 func logged(f func(int), v int) bool { f(v); return true }
 
+func (db *DB) nestedReport(v int, report bool) {
+	// The object-store apply path: the alias guard wraps a nested
+	// condition deciding whether this apply is oracle-visible.
+	if o := db.oracle; o != nil {
+		if report {
+			o.Observe(v)
+		}
+	}
+}
+
+func (db *DB) nestedReportUnguarded(v int, report bool) {
+	if report {
+		db.oracle.Observe(v) // want `nullable hook db\.oracle`
+	}
+}
+
 func (db *DB) suppressed(v int) {
 	//simlint:ignore hookguard sink is installed unconditionally by the only constructor
 	db.sink.Fn(v)
@@ -86,6 +102,20 @@ func (t *Tracer) StartOp(at int) {
 }
 
 func (t *Tracer) Phase(start int) {
+	if t == nil {
+		return
+	}
+	t.spans++
+}
+
+func (t *Tracer) Mute(at int) {
+	if t == nil {
+		return
+	}
+	t.spans++
+}
+
+func (t *Tracer) Interval(start int) {
 	if t == nil {
 		return
 	}
@@ -116,6 +146,27 @@ func (s *Server) spanEmitUnguarded(now int) {
 		t0 = now
 	}
 	s.tracer.Phase(t0) // want `nullable hook s\.tracer`
+}
+
+func (s *Server) bracketedInterval(now int) {
+	// The async-replication delivery path: tracing is muted around the
+	// replica apply, then the whole delivery is logged as one interval.
+	// Each bracket carries its own guard.
+	if tr := s.tracer; tr != nil {
+		tr.Mute(now)
+	}
+	_ = work()
+	if tr := s.tracer; tr != nil {
+		tr.Interval(now)
+	}
+}
+
+func (s *Server) bracketedIntervalUnguarded(now int) {
+	if tr := s.tracer; tr != nil {
+		tr.Mute(now)
+	}
+	_ = work()
+	s.tracer.Interval(now) // want `nullable hook s\.tracer`
 }
 
 func (s *Server) deferredEmit(now int) {

@@ -1,0 +1,272 @@
+package objstore
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cloudbench/internal/cluster"
+	"cloudbench/internal/consistency"
+	"cloudbench/internal/kv"
+	"cloudbench/internal/sim"
+	"cloudbench/internal/trace"
+)
+
+// testDB builds object servers on nodes 0..n-2 and a client on the last
+// node.
+func testDB(k *sim.Kernel, servers, rf int, mutate func(*Config)) (*DB, *Client, *cluster.Cluster) {
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = servers + 1
+	c := cluster.New(k, ccfg)
+	cfg := DefaultConfig()
+	cfg.Replication = rf
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	db := New(k, cfg, c.Nodes[:servers])
+	return db, db.NewClient(c.Nodes[servers]), c
+}
+
+func key(i int) kv.Key { return kv.Key(fmt.Sprintf("user%08d", i)) }
+
+func rec(s string) kv.Record { return kv.Record{"f0": kv.ByteValue([]byte(s))} }
+
+// TestAsyncReplicationConverges: a write is acked after one durable apply
+// and the remaining replicas catch up through the async job queue — after
+// the kernel drains, every placement member holds the same version.
+func TestAsyncReplicationConverges(t *testing.T) {
+	k := sim.NewKernel(3)
+	db, c, _ := testDB(k, 5, 3, nil)
+	const writes = 20
+	k.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < writes; i++ {
+			if err := c.Insert(p, key(i), rec("v")); err != nil {
+				t.Errorf("insert %d: %v", i, err)
+			}
+		}
+		// Let the async jobs deliver, then stop the replicator daemon so
+		// the kernel can drain.
+		p.Sleep(2 * time.Second)
+		db.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < writes; i++ {
+		placement := db.PlacementFor(key(i))
+		want := placement[0].localVersion(db.PartitionOf(key(i)), key(i))
+		if want == 0 {
+			t.Fatalf("key %d: primary has no version", i)
+		}
+		for _, s := range placement[1:] {
+			if got := s.localVersion(db.PartitionOf(key(i)), key(i)); got != want {
+				t.Errorf("key %d: replica node %d version %d, want %d", i, s.Node.ID, got, want)
+			}
+		}
+	}
+	if db.AsyncJobsRun != writes*2 {
+		t.Errorf("AsyncJobsRun = %d, want %d (RF-1 per write)", db.AsyncJobsRun, writes*2)
+	}
+	if db.PendingJobs() != 0 {
+		t.Errorf("PendingJobs = %d after drain, want 0", db.PendingJobs())
+	}
+}
+
+// TestHandoffWriteAndRecovery: with every placement member down, the
+// write lands on a handoff stand-in; once the replica set recovers, the
+// spilled jobs and the anti-entropy pass push the data home.
+func TestHandoffWriteAndRecovery(t *testing.T) {
+	k := sim.NewKernel(5)
+	db, c, _ := testDB(k, 4, 2, nil)
+	target := key(0)
+	placement := db.PlacementFor(target)
+	part := db.PartitionOf(target)
+	k.Spawn("driver", func(p *sim.Proc) {
+		for _, s := range placement {
+			s.Node.Fail()
+		}
+		if err := c.Insert(p, target, rec("handoff")); err != nil {
+			t.Errorf("handoff insert: %v", err)
+		}
+		// Past the async retry budget: the jobs must spill to the updater.
+		p.Sleep(2 * time.Second)
+		for _, s := range placement {
+			s.Node.Recover()
+		}
+		// Across at least one replicator pass after recovery.
+		p.Sleep(3 * time.Second)
+		db.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if db.HandoffWrites != 1 {
+		t.Errorf("HandoffWrites = %d, want 1", db.HandoffWrites)
+	}
+	for _, s := range placement {
+		if s.localVersion(part, target) == 0 {
+			t.Errorf("placement node %d never received the handoff write", s.Node.ID)
+		}
+	}
+	if db.UpdaterReplays+db.AntiEntropyPushes == 0 {
+		t.Error("neither updater nor anti-entropy carried the handoff home")
+	}
+}
+
+// TestAntiEntropyDigestPush: a version present on one replica only (no
+// async job ever queued for it) reaches its peers through the digest
+// exchange alone.
+func TestAntiEntropyDigestPush(t *testing.T) {
+	k := sim.NewKernel(7)
+	db, _, _ := testDB(k, 5, 3, nil)
+	target := key(3)
+	part := db.PartitionOf(target)
+	placement := db.PlacementFor(target)
+	k.Spawn("driver", func(p *sim.Proc) {
+		// Apply directly at the primary, bypassing the write path: models
+		// a replica whose async jobs were lost.
+		placement[0].applyLocal(p, db, target, rec("lone"), false, db.version(), consistency.ApplyWrite, true)
+		p.Sleep(2 * db.cfg.ReplicatorInterval)
+		db.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range placement[1:] {
+		if s.localVersion(part, target) == 0 {
+			t.Errorf("peer node %d missing the version after anti-entropy", s.Node.ID)
+		}
+	}
+	if db.DigestsSent == 0 || db.AntiEntropyPushes < 2 {
+		t.Errorf("digests=%d pushes=%d, want digest-driven pushes to both peers",
+			db.DigestsSent, db.AntiEntropyPushes)
+	}
+}
+
+// TestAsyncQueueSpillover: with the job queue capacity at zero every
+// replication job spills straight to the updater, and the replicator pass
+// still converges the replicas.
+func TestAsyncQueueSpillover(t *testing.T) {
+	k := sim.NewKernel(9)
+	db, c, _ := testDB(k, 4, 3, func(cfg *Config) { cfg.AsyncQueueCap = 0 })
+	k.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			if err := c.Insert(p, key(i), rec("spill")); err != nil {
+				t.Errorf("insert %d: %v", i, err)
+			}
+		}
+		p.Sleep(2 * db.cfg.ReplicatorInterval)
+		db.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if db.AsyncJobsRun != 0 {
+		t.Errorf("AsyncJobsRun = %d with zero queue cap, want 0", db.AsyncJobsRun)
+	}
+	if db.JobsSpilled == 0 || db.UpdaterReplays == 0 {
+		t.Errorf("spilled=%d replays=%d, want the updater to carry replication", db.JobsSpilled, db.UpdaterReplays)
+	}
+	for i := 0; i < 5; i++ {
+		for _, s := range db.PlacementFor(key(i)) {
+			if s.localVersion(db.PartitionOf(key(i)), key(i)) == 0 {
+				t.Errorf("key %d missing on node %d", i, s.Node.ID)
+			}
+		}
+	}
+}
+
+// TestReadModesAfterConvergence: once replicas have converged, both read
+// policies return the written value; quorum reads reconcile a majority.
+func TestReadModesAfterConvergence(t *testing.T) {
+	k := sim.NewKernel(11)
+	db, c, _ := testDB(k, 5, 3, nil)
+	k.Spawn("driver", func(p *sim.Proc) {
+		if err := c.Insert(p, key(0), rec("settled")); err != nil {
+			t.Errorf("insert: %v", err)
+		}
+		p.Sleep(2 * time.Second)
+		for i, cl := range []*Client{c, c.WithReadMode(ReadQuorumFresh)} {
+			// Several reads so ReadOne's rotation visits every replica.
+			for n := 0; n < 3; n++ {
+				got, err := cl.Read(p, key(0), nil)
+				if err != nil || string(got["f0"].Data) != "settled" {
+					t.Errorf("mode %d read %d: got %v err=%v", i, n, got, err)
+				}
+			}
+		}
+		db.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnavailableWhenAllDown: with every server failed, reads and writes
+// return ErrUnavailable rather than hanging.
+func TestUnavailableWhenAllDown(t *testing.T) {
+	k := sim.NewKernel(13)
+	db, c, _ := testDB(k, 3, 3, func(cfg *Config) { cfg.ReplicatorInterval = 0 })
+	k.Spawn("driver", func(p *sim.Proc) {
+		for _, s := range db.Servers() {
+			s.Node.Fail()
+		}
+		if _, err := c.Read(p, key(0), nil); err != kv.ErrUnavailable {
+			t.Errorf("read with all down: err=%v, want ErrUnavailable", err)
+		}
+		if err := c.Insert(p, key(0), rec("x")); err != kv.ErrUnavailable {
+			t.Errorf("write with all down: err=%v, want ErrUnavailable", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Unavails != 2 {
+		t.Errorf("Unavails = %d, want 2", db.Unavails)
+	}
+}
+
+// TestDisabledHooksZeroAlloc pins the cost of the objstore hook call-site
+// shapes with tracer and oracle detached (the performance-experiment
+// configuration): the nil gates must not allocate or evaluate their
+// arguments.
+func TestDisabledHooksZeroAlloc(t *testing.T) {
+	var tr *trace.Tracer
+	var o *consistency.Oracle
+	k := sim.NewKernel(15)
+	k.Spawn("driver", func(p *sim.Proc) {
+		target := kv.Key("user42")
+		allocs := testing.AllocsPerRun(1000, func() {
+			// applyLocal's shape: timed storage phase plus gated report.
+			var t0 sim.Time
+			if tr != nil {
+				t0 = p.Now()
+			}
+			if tr != nil {
+				tr.Phase(p, trace.PhaseStorage, 1, t0)
+			}
+			report := true
+			if o != nil {
+				if report {
+					o.ReplicaApply(target, 1, 1, consistency.ApplyWrite, p.Now())
+				}
+			}
+			// syncPartition's shape: composite span with muted legs.
+			var prev any
+			if tr != nil {
+				t0 = p.Now()
+				prev = tr.Mute(p)
+			}
+			if tr != nil {
+				tr.Unmute(p, prev)
+				tr.Interval(p, trace.PhaseAntiEntropy, 1, t0, p.Now())
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("disabled hook path allocated %.1f allocs/op, want 0", allocs)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

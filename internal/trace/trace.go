@@ -85,12 +85,23 @@ const (
 	// PhaseHDFS is one HDFS write-pipeline hop (flush/compaction output
 	// replication).
 	PhaseHDFS
+	// PhaseAsyncJob is one asynchronous replication job delivery: an
+	// object server pushing an already-acked mutation to a peer replica
+	// after the client ack (objstore's ack-then-replicate path, including
+	// updater retries of spilled jobs). Recorded as one composite span
+	// per delivery with its internal legs muted.
+	PhaseAsyncJob
+	// PhaseAntiEntropy is one anti-entropy partition sync: a periodic
+	// replicator exchanging per-partition version digests with a peer and
+	// pushing the versions the peer misses.
+	PhaseAntiEntropy
 	NumPhases int = iota
 )
 
 var phaseNames = [NumPhases]string{
 	"coord-queue", "coord", "fanout", "wal", "storage",
 	"digest", "read-repair", "hint-replay", "hdfs",
+	"async-job", "anti-entropy",
 }
 
 func (ph Phase) String() string {
