@@ -1,3 +1,12 @@
 module cloudbench
 
 go 1.22
+
+// Zero dependencies by policy. The simlint engine (internal/lint) mirrors
+// the golang.org/x/tools/go/analysis driver API and a pointer-analysis
+// shape compatible with x/tools/go/ssa + go/pointer, so the analyzers can
+// be rehosted on x/tools if it is ever vendored. If that happens, pin it
+// here at an exact version (no indirect float) and upgrade only
+// deliberately, re-running `make lint-report` to confirm the 60s CI
+// budget still holds; until then the self-contained loader in
+// internal/lint/load.go is the single source of type information.

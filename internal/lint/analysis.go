@@ -64,6 +64,9 @@ type Pass struct {
 	// whose declaration carries //simlint:hook; method calls through a
 	// pointer to such a type require a dominating nil check.
 	HookTypes map[string]bool
+	// Prog is the whole loaded program; interprocedural analyzers reach
+	// the shared SSA/points-to engine through Prog.SSA().
+	Prog *Program
 
 	diags *[]Diagnostic
 }

@@ -17,6 +17,10 @@ const (
 	// dirHotpath marks the function declaration it documents as an
 	// allocation-free hot path: //simlint:hotpath.
 	dirHotpath
+	// dirColdpath marks a function or interface-method declaration as a
+	// sanctioned allocation boundary: hotpath-marked callers may call it
+	// even though it (or its implementations) allocate. //simlint:coldpath.
+	dirColdpath
 	// dirHook marks the type declaration it documents as a nullable hook
 	// whose method calls require a nil check: //simlint:hook.
 	dirHook
@@ -50,6 +54,8 @@ func parseDirective(c *ast.Comment, pos token.Position) (directive, bool) {
 	switch fields[0] {
 	case "hotpath":
 		d.kind = dirHotpath
+	case "coldpath":
+		d.kind = dirColdpath
 	case "hook":
 		d.kind = dirHook
 	case "ignore":

@@ -21,9 +21,20 @@ import (
 //   - string concatenation (every + allocates),
 //   - interface boxing of non-pointer values (conversions and call
 //     arguments; pointers share the interface word and stay free).
+//
+// Since PR 8 the check is also interprocedural: a hotpath function may
+// only call callees that are themselves allocation-free (checked
+// recursively through the call graph, resolving interface calls through
+// the module's concrete types), other //simlint:hotpath functions (each
+// enforced at its own declaration), or functions and interface methods
+// annotated //simlint:coldpath — the explicit escape hatch for sanctioned
+// boundaries like the kv.Client verbs, whose implementations model I/O
+// and allocate by design. Calls through plain function values are not
+// chased (the kernel dispatch loop invokes every scheduled closure; see
+// DESIGN.md §12), and callees outside the analyzed packages are trusted.
 var Hotpath = &Analyzer{
 	Name:      "hotpath",
-	Doc:       "functions marked //simlint:hotpath may not defer, close over, format, concatenate strings, or box non-pointer values",
+	Doc:       "functions marked //simlint:hotpath may not allocate, directly or via any callee not marked //simlint:coldpath",
 	AppliesTo: func(importPath string) bool { return strings.HasPrefix(importPath, "cloudbench") },
 	Run:       runHotpath,
 }
@@ -36,9 +47,116 @@ func runHotpath(pass *Pass) error {
 				continue
 			}
 			checkHotpathBody(pass, fn)
+			checkHotpathCallees(pass, fn)
 		}
 	}
 	return nil
+}
+
+// checkHotpathCallees walks the call graph out of a hotpath function and
+// reports, at the first-hop call site, any reachable callee that
+// allocates. Coldpath-annotated callees (and interface methods), hotpath
+// callees, dynamic function values, and external callees bound the walk.
+func checkHotpathCallees(pass *Pass, decl *ast.FuncDecl) {
+	s := pass.Prog.SSA()
+	obj, _ := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+	root := s.FuncOf(obj)
+	if root == nil {
+		return
+	}
+	visited := make(map[*SSAFunc]bool)
+	for _, c := range root.Calls {
+		if c.Iface != nil && s.ColdIface(c.Iface) {
+			continue
+		}
+		if c.Value != 0 {
+			continue // dynamic function values are not chased
+		}
+		for _, callee := range s.Callees(c) {
+			if fact := allocatingCallee(s, callee, visited, 0); fact != "" {
+				pass.Reportf(c.Pos, "call in hot path %s reaches an allocating callee: %s; mark the boundary //simlint:coldpath or make the callee allocation-free",
+					decl.Name.Name, fact)
+			}
+		}
+	}
+}
+
+// allocatingCallee returns a chain description when fn (or any function it
+// can reach under the same rules) has an allocation fact in its own body,
+// or "" when the subtree is clean.
+func allocatingCallee(s *SSA, fn *SSAFunc, visited map[*SSAFunc]bool, depth int) string {
+	if fn.Hotpath || fn.Coldpath || visited[fn] || depth > 40 {
+		return ""
+	}
+	visited[fn] = true
+	if fact := ownAllocFact(fn); fact != "" {
+		return fn.Name + " " + fact
+	}
+	for _, c := range fn.Calls {
+		if c.Iface != nil && s.ColdIface(c.Iface) {
+			continue
+		}
+		if c.Value != 0 {
+			continue
+		}
+		for _, callee := range s.Callees(c) {
+			if sub := allocatingCallee(s, callee, visited, depth+1); sub != "" {
+				return fn.Name + " → " + sub
+			}
+		}
+	}
+	return ""
+}
+
+// ownAllocFact scans fn's own body (excluding nested literals) for the
+// same allocation classes the intraprocedural check enforces, returning a
+// short description of the first one.
+func ownAllocFact(fn *SSAFunc) string {
+	if fn.Body == nil || fn.Pkg == nil || fn.Pkg.Info == nil {
+		return ""
+	}
+	info := fn.Pkg.Info
+	fact := ""
+	found := func(f string) {
+		if fact == "" {
+			fact = f
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if fact != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			found("allocates a closure")
+			return false
+		case *ast.DeferStmt:
+			found("defers")
+		case *ast.CallExpr:
+			if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+				if types.IsInterface(tv.Type) && len(n.Args) == 1 && boxesInfo(info, n.Args[0]) {
+					found("boxes a value into an interface")
+				}
+				return true
+			}
+			if obj := funcObj(info, n); obj != nil && obj.Pkg() != nil {
+				switch obj.Pkg().Path() {
+				case "fmt", "log":
+					found("formats via " + obj.Pkg().Name() + "." + obj.Name())
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringInfo(info, n.X) {
+				found("concatenates strings")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringInfo(info, n.Lhs[0]) {
+				found("concatenates strings")
+			}
+		}
+		return true
+	})
+	return fact
 }
 
 func checkHotpathBody(pass *Pass, fn *ast.FuncDecl) {
@@ -127,7 +245,11 @@ func callSignature(pass *Pass, call *ast.CallExpr) *types.Signature {
 // concrete non-pointer-shaped values, false for values already in an
 // interface, pointers, channels, maps, funcs, and nil.
 func boxes(pass *Pass, arg ast.Expr) bool {
-	tv, ok := pass.TypesInfo.Types[ast.Unparen(arg)]
+	return boxesInfo(pass.TypesInfo, arg)
+}
+
+func boxesInfo(info *types.Info, arg ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(arg)]
 	if !ok || tv.Type == nil || tv.IsNil() {
 		return false
 	}
@@ -141,7 +263,11 @@ func boxes(pass *Pass, arg ast.Expr) bool {
 }
 
 func isStringExpr(pass *Pass, x ast.Expr) bool {
-	tv, ok := pass.TypesInfo.Types[x]
+	return isStringInfo(pass.TypesInfo, x)
+}
+
+func isStringInfo(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[x]
 	if !ok || tv.Type == nil {
 		return false
 	}

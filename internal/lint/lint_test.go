@@ -12,6 +12,7 @@ func golden(name string) string {
 	return filepath.Join("testdata", "src", name)
 }
 
+func TestBlockfreeGolden(t *testing.T) { linttest.Run(t, lint.Blockfree, golden("blockfree")) }
 func TestDetwalkGolden(t *testing.T)   { linttest.Run(t, lint.Detwalk, golden("detwalk")) }
 func TestHookguardGolden(t *testing.T) { linttest.Run(t, lint.Hookguard, golden("hookguard")) }
 func TestHotpathGolden(t *testing.T)   { linttest.Run(t, lint.Hotpath, golden("hotpath")) }

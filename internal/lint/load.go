@@ -33,6 +33,11 @@ type Package struct {
 type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package
+
+	// ssa caches the interprocedural engine (built on first SSA() call)
+	// so every analyzer in one driver run shares one lowering and one
+	// points-to solution.
+	ssa *SSA
 }
 
 // Targets returns the packages that matched the load patterns (everything
@@ -128,6 +133,9 @@ func Load(dir string, patterns ...string) (*Program, error) {
 				Uses:       make(map[*ast.Ident]types.Object),
 				Defs:       make(map[*ast.Ident]types.Object),
 				Selections: make(map[*ast.SelectorExpr]*types.Selection),
+				// Implicits carries type-switch case variables, which the
+				// SSA-lite lowering needs to track narrowing assignments.
+				Implicits: make(map[ast.Node]types.Object),
 			}
 		}
 		tpkg, _ := conf.Check(lp.ImportPath, prog.Fset, pkg.Files, pkg.Info)

@@ -1,0 +1,88 @@
+package lint_test
+
+import (
+	"go/types"
+	"testing"
+
+	"cloudbench/internal/lint"
+)
+
+// findVar locates the unique variable named name among the target
+// packages' definitions (the pointsto testdata keeps names globally
+// unique for exactly this purpose).
+func findVar(t *testing.T, prog *lint.Program, name string) *types.Var {
+	t.Helper()
+	var found *types.Var
+	for _, pkg := range prog.Targets() {
+		for _, obj := range pkg.Info.Defs {
+			v, ok := obj.(*types.Var)
+			if !ok || v.Name() != name {
+				continue
+			}
+			if found != nil {
+				t.Fatalf("variable %q defined more than once in testdata", name)
+			}
+			found = v
+		}
+	}
+	if found == nil {
+		t.Fatalf("variable %q not found in testdata", name)
+	}
+	return found
+}
+
+// TestPointsToCore exercises the Andersen solver directly through the
+// public query API, one subtest per precision property the analyzer
+// layers depend on.
+func TestPointsToCore(t *testing.T) {
+	prog, err := lint.Load(golden("pointsto"), ".")
+	if err != nil {
+		t.Fatalf("loading: %v", err)
+	}
+	s := prog.SSA()
+
+	mayAlias := func(ptr, target string) bool {
+		t.Helper()
+		return s.PointsToAnyVar(s.VarNode(findVar(t, prog, ptr)), findVar(t, prog, target))
+	}
+	mustAlias := func(ptr, target string) {
+		t.Helper()
+		if !mayAlias(ptr, target) {
+			t.Errorf("%s should point to %s; points-to set: %v", ptr, target, describe(s, prog, t, ptr))
+		}
+	}
+	mustNotAlias := func(ptr, target string) {
+		t.Helper()
+		if mayAlias(ptr, target) {
+			t.Errorf("%s must not point to %s (precision loss); points-to set: %v", ptr, target, describe(s, prog, t, ptr))
+		}
+	}
+
+	t.Run("field sensitivity", func(t *testing.T) {
+		mustAlias("fsA", "fsX")
+		mustAlias("fsB", "fsY")
+		mustNotAlias("fsA", "fsY")
+		mustNotAlias("fsB", "fsX")
+	})
+	t.Run("interface boxing", func(t *testing.T) {
+		mustAlias("ibQ", "ibX")
+		mustNotAlias("ibQ", "fsX")
+	})
+	t.Run("slice append aliasing", func(t *testing.T) {
+		mustAlias("saE", "saX")
+		mustNotAlias("saE", "mvX")
+	})
+	t.Run("map value escape", func(t *testing.T) {
+		mustAlias("mvV", "mvX")
+		mustNotAlias("mvV", "saX")
+	})
+}
+
+func describe(s *lint.SSA, prog *lint.Program, t *testing.T, name string) []string {
+	t.Helper()
+	var out []string
+	for _, o := range s.PointsTo(s.VarNode(findVar(t, prog, name))) {
+		out = append(out, s.DescribeNode(o))
+	}
+	return out
+}

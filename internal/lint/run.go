@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"fmt"
+	"go/token"
 	"sort"
 )
 
@@ -12,11 +14,45 @@ type AnalyzeOptions struct {
 	IgnoreScope bool
 }
 
+// An IgnoreEntry describes one //simlint:ignore directive found in the
+// analyzed packages, for the CI-visible `simlint -ignores` report.
+type IgnoreEntry struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+	// Checked reports that the named analyzer ran in this driver
+	// invocation, making Stale meaningful.
+	Checked bool
+	// Stale reports that the named analyzer ran and produced no
+	// diagnostic on the directive's line or the line below — the
+	// suppression no longer suppresses anything.
+	Stale bool
+}
+
+// An IgnoreReport is the full directive inventory of one driver run.
+type IgnoreReport struct {
+	Entries []IgnoreEntry
+}
+
 // Analyze runs the analyzers over prog's target packages and returns the
 // surviving diagnostics: suppressed findings are dropped, malformed
 // directives are themselves reported, and the result is sorted by position.
 func Analyze(prog *Program, analyzers []*Analyzer, opts AnalyzeOptions) ([]Diagnostic, error) {
+	diags, _, err := AnalyzeReport(prog, analyzers, opts)
+	return diags, err
+}
+
+// AnalyzeReport is Analyze plus the ignore-directive inventory (with
+// staleness computed against the pre-suppression diagnostics). When the
+// analyzer list includes Ignoreaudit, stale directives are also reported
+// as diagnostics, so a suppression cannot outlive the finding it hides.
+func AnalyzeReport(prog *Program, analyzers []*Analyzer, opts AnalyzeOptions) ([]Diagnostic, *IgnoreReport, error) {
 	targets := prog.Targets()
+
+	ran := make(map[string]bool)
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 
 	// Hook-type directives are declarations about a package's API, so
 	// they must be visible to every package that calls through the hook,
@@ -35,6 +71,9 @@ func Analyze(prog *Program, analyzers []*Analyzer, opts AnalyzeOptions) ([]Diagn
 	var diags []Diagnostic
 	for _, pkg := range targets {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue // driver-implemented (Ignoreaudit)
+			}
 			if !opts.IgnoreScope && a.AppliesTo != nil && !a.AppliesTo(pkg.ImportPath) {
 				continue
 			}
@@ -45,19 +84,35 @@ func Analyze(prog *Program, analyzers []*Analyzer, opts AnalyzeOptions) ([]Diagn
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 				HookTypes: hookTypes,
+				Prog:      prog,
 				diags:     &diags,
 			}
-			//simlint:ignore hookguard every registered analyzer declares Run; a nil is a programming error best surfaced as a panic
 			if err := a.Run(pass); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
+	}
+
+	// Raw (pre-suppression) diagnostic index, for stale-ignore detection:
+	// file -> line -> analyzer names that fired there.
+	raw := make(map[string]map[int]map[string]bool)
+	for _, dg := range diags {
+		byLine := raw[dg.Pos.Filename]
+		if byLine == nil {
+			byLine = make(map[int]map[string]bool)
+			raw[dg.Pos.Filename] = byLine
+		}
+		if byLine[dg.Pos.Line] == nil {
+			byLine[dg.Pos.Line] = make(map[string]bool)
+		}
+		byLine[dg.Pos.Line][dg.Analyzer] = true
 	}
 
 	// Suppression index: file -> line -> ignore directives. An ignore
 	// suppresses diagnostics on its own line (trailing comment) and on
 	// the line immediately below (standalone comment above the code).
 	ignores := make(map[string]map[int][]directive)
+	report := &IgnoreReport{}
 	for _, d := range directives {
 		switch d.kind {
 		case dirIgnore:
@@ -67,12 +122,48 @@ func Analyze(prog *Program, analyzers []*Analyzer, opts AnalyzeOptions) ([]Diagn
 				ignores[d.pos.Filename] = byLine
 			}
 			byLine[d.pos.Line] = append(byLine[d.pos.Line], d)
+
+			entry := IgnoreEntry{Pos: d.pos, Analyzer: d.analyzer, Reason: d.reason}
+			// A directive naming ignoreaudit itself opts a line out of the
+			// audit; auditing it would recurse.
+			if ran[d.analyzer] && d.analyzer != Ignoreaudit.Name {
+				entry.Checked = true
+				fired := false
+				for _, line := range [2]int{d.pos.Line, d.pos.Line + 1} {
+					if raw[d.pos.Filename][line][d.analyzer] {
+						fired = true
+						break
+					}
+				}
+				entry.Stale = !fired
+			}
+			report.Entries = append(report.Entries, entry)
 		case dirMalformed:
 			diags = append(diags, Diagnostic{
 				Analyzer: "simlint",
 				Pos:      d.pos,
 				Message:  d.problem,
 			})
+		}
+	}
+	sort.Slice(report.Entries, func(i, j int) bool {
+		a, b := report.Entries[i], report.Entries[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+
+	if ran[Ignoreaudit.Name] {
+		for _, e := range report.Entries {
+			if e.Checked && e.Stale {
+				diags = append(diags, Diagnostic{
+					Analyzer: Ignoreaudit.Name,
+					Pos:      e.Pos,
+					Message: fmt.Sprintf("stale //simlint:ignore %s (%s): the analyzer no longer fires on this line; delete the directive",
+						e.Analyzer, e.Reason),
+				})
+			}
 		}
 	}
 
@@ -95,7 +186,7 @@ func Analyze(prog *Program, analyzers []*Analyzer, opts AnalyzeOptions) ([]Diagn
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return kept, nil
+	return kept, report, nil
 }
 
 func suppressed(ignores map[string]map[int][]directive, dg Diagnostic) bool {
@@ -113,7 +204,36 @@ func suppressed(ignores map[string]map[int][]directive, dg Diagnostic) bool {
 	return false
 }
 
+// Ignoreaudit fails the build on //simlint:ignore directives whose named
+// analyzer no longer fires on the suppressed line, so stale suppressions
+// cannot linger and silently swallow future findings. It is implemented
+// inside the driver (Run is nil): it needs the raw pre-suppression
+// diagnostics of the whole run, which no per-package pass can see.
+var Ignoreaudit = &Analyzer{
+	Name: "ignoreaudit",
+	Doc:  "//simlint:ignore directives must still suppress a live diagnostic (stale-ignore detection)",
+}
+
 // All returns the full simlint analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Detwalk, Hookguard, Hotpath, Seedflow, Shardsafe}
+	return []*Analyzer{Detwalk, Hookguard, Hotpath, Seedflow, Shardsafe, Blockfree, Ignoreaudit}
+}
+
+// Select returns the analyzers whose names appear in names (the
+// LINT_ANALYZERS / -analyzers filter), erroring on unknown names so a typo
+// cannot silently disable enforcement.
+func Select(names []string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (run simlint -list)", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }

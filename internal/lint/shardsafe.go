@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -13,12 +14,24 @@ import (
 // or *sim.ShardGroup visible at the send site — would let the closure
 // touch another shard's state while windows execute concurrently: a data
 // race the conservative synchronization cannot see and a determinism leak
-// even when it happens not to crash. The analyzer flags delivery closures
-// whose free variables have those types (directly or as fields reached
-// through a captured struct) and method values bound to them.
+// even when it happens not to crash.
+//
+// The analyzer has two layers. The syntactic layer (PR 3) flags delivery
+// closures whose free variables have those types (directly or as fields
+// reached through a captured struct) and method values bound to them.
+// The points-to layer (PR 8) closes the laundering holes the syntax
+// cannot see: it walks everything *reachable* from each captured value —
+// struct fields whether or not the closure touches them, slice/map/chan
+// elements, interface boxes, and the captures of any closure the payload
+// carries — and flags the capture if a sending-side kernel object is
+// anywhere in that heap. Cells the points-to solution leaves empty are
+// expanded from their static types, so opaque values cannot hide an
+// edge. Kernel handles that legitimately cross shards (a *sim.Future
+// reply handle) stay legal: inside sim-declared structs only payload
+// fields are walked, not the kernel plumbing (see SSA.ReachableBanned).
 var Shardsafe = &Analyzer{
 	Name:      "shardsafe",
-	Doc:       "cross-shard delivery closures must not capture the sending shard's kernel objects",
+	Doc:       "cross-shard delivery closures must not capture or reach the sending shard's kernel objects",
 	AppliesTo: simReachable,
 	Run:       runShardsafe,
 }
@@ -35,11 +48,22 @@ func runShardsafe(pass *Pass) error {
 			}
 			switch arg := ast.Unparen(call.Args[2]).(type) {
 			case *ast.FuncLit:
-				checkDeliveryCaptures(pass, arg)
+				flagged := checkDeliveryCaptures(pass, arg)
+				checkDeliveryReachability(pass, arg, flagged)
 			case *ast.SelectorExpr:
 				if sel, ok := pass.TypesInfo.Selections[arg]; ok && sel.Kind() == types.MethodVal {
 					if name := bannedShardType(sel.Recv()); name != "" {
 						pass.Reportf(arg.Pos(), "cross-shard delivery fn is a method bound to a %s on the sending side; deliver plain data and reach state through the *sim.Shard the closure receives", name)
+					}
+				}
+			case *ast.Ident:
+				// A variable holding the payload closure: walk whatever
+				// closures it may hold through the points-to engine (a
+				// stored closure's captures escape the syntactic check).
+				if obj, ok := pass.TypesInfo.ObjectOf(arg).(*types.Var); ok {
+					s := pass.Prog.SSA()
+					if name, path, found := s.ReachableBanned(s.VarNode(obj), obj.Name()); found {
+						pass.Reportf(arg.Pos(), "cross-shard delivery fn reaches a %s from the sending shard (%s); deliver plain data and reach state through the *sim.Shard it receives", name, path)
 					}
 				}
 			}
@@ -52,7 +76,10 @@ func runShardsafe(pass *Pass) error {
 // checkDeliveryCaptures reports free variables of lit (identifiers
 // declared outside the literal) whose types are sending-side kernel
 // objects, and banned-typed fields reached through any captured struct.
-func checkDeliveryCaptures(pass *Pass, lit *ast.FuncLit) {
+// It returns the capture roots it reported, so the points-to layer does
+// not re-report the same variables.
+func checkDeliveryCaptures(pass *Pass, lit *ast.FuncLit) map[*types.Var]bool {
+	flagged := make(map[*types.Var]bool)
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.Ident:
@@ -61,6 +88,7 @@ func checkDeliveryCaptures(pass *Pass, lit *ast.FuncLit) {
 				return true
 			}
 			if name := bannedShardType(obj.Type()); name != "" {
+				flagged[obj] = true
 				pass.Reportf(n.Pos(), "cross-shard delivery fn captures %s %q from the sending shard; pass plain data (ids, keys, values) and reach state through the *sim.Shard it receives", name, n.Name)
 			}
 		case *ast.SelectorExpr:
@@ -68,30 +96,77 @@ func checkDeliveryCaptures(pass *Pass, lit *ast.FuncLit) {
 			if !ok || sel.Kind() != types.FieldVal {
 				return true
 			}
-			if name := bannedShardType(pass.TypesInfo.TypeOf(n)); name != "" && capturedRoot(pass, lit, n.X) {
-				pass.Reportf(n.Pos(), "cross-shard delivery fn reaches a %s through a captured value; pass plain data and reach state through the *sim.Shard it receives", name)
+			if name := bannedShardType(pass.TypesInfo.TypeOf(n)); name != "" {
+				if root, ok := capturedRoot(pass, lit, n.X); ok {
+					flagged[root] = true
+					pass.Reportf(n.Pos(), "cross-shard delivery fn reaches a %s through a captured value; pass plain data and reach state through the *sim.Shard it receives", name)
+				}
 			}
 		}
 		return true
 	})
+	return flagged
 }
 
-// capturedRoot reports whether the base expression bottoms out in an
-// identifier declared outside lit — i.e. the field chain starts at a
-// captured variable rather than at the delivered shard parameter or a
-// call result.
-func capturedRoot(pass *Pass, lit *ast.FuncLit, e ast.Expr) bool {
+// checkDeliveryReachability runs the points-to layer over lit's free
+// variables, skipping roots the syntactic layer already reported.
+func checkDeliveryReachability(pass *Pass, lit *ast.FuncLit, flagged map[*types.Var]bool) {
+	s := pass.Prog.SSA()
+	fn := s.LitOf(lit)
+	if fn == nil {
+		return
+	}
+	for _, fv := range fn.FreeVars {
+		if flagged[fv] {
+			continue
+		}
+		if bannedShardType(fv.Type()) != "" {
+			continue // the capture itself is banned: syntactic layer territory
+		}
+		name, path, found := s.ReachableBanned(s.VarNode(fv), fv.Name())
+		if !found {
+			continue
+		}
+		pass.Reportf(firstUseIn(pass, lit, fv), "cross-shard delivery fn reaches a %s from the sending shard through captured %q (%s); deliver plain data and reach state through the *sim.Shard it receives",
+			name, fv.Name(), path)
+	}
+}
+
+// firstUseIn locates the first reference to v inside lit, so the
+// diagnostic lands on the offending capture rather than on the literal.
+func firstUseIn(pass *Pass, lit *ast.FuncLit, v *types.Var) token.Pos {
+	pos := lit.Pos()
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if pos != lit.Pos() {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == v {
+			pos = id.Pos()
+			return false
+		}
+		return true
+	})
+	return pos
+}
+
+// capturedRoot returns the captured variable a field chain bottoms out in
+// — i.e. the chain starts at an identifier declared outside lit rather
+// than at the delivered shard parameter or a call result.
+func capturedRoot(pass *Pass, lit *ast.FuncLit, e ast.Expr) (*types.Var, bool) {
 	for {
 		switch x := ast.Unparen(e).(type) {
 		case *ast.Ident:
 			obj, ok := pass.TypesInfo.ObjectOf(x).(*types.Var)
-			return ok && !obj.IsField() && declaredOutside(lit, obj)
+			if ok && !obj.IsField() && declaredOutside(lit, obj) {
+				return obj, true
+			}
+			return nil, false
 		case *ast.SelectorExpr:
 			e = x.X
 		case *ast.IndexExpr:
 			e = x.X
 		default:
-			return false
+			return nil, false
 		}
 	}
 }

@@ -9,9 +9,9 @@ type ring struct {
 	flush func()
 }
 
-func sink(any)        {}
-func take(p *ring)    {}
-func useIface(x any)  {}
+func sink(any)       {}
+func take(p *ring)   {}
+func useIface(x any) {}
 
 //simlint:hotpath
 func (r *ring) push(v int) {
@@ -37,11 +37,11 @@ func (r *ring) concat(s string) {
 
 //simlint:hotpath
 func (r *ring) boxes(v int, p *ring) {
-	useIface(v)      // want `boxes a non-pointer value`
-	useIface(p)      // pointers share the interface word: ok
-	useIface(nil)    // nil: ok
-	_ = any(v)       // want `conversion to interface`
-	take(p)          // concrete parameter: ok
+	useIface(v)   // want `boxes a non-pointer value`
+	useIface(p)   // pointers share the interface word: ok
+	useIface(nil) // nil: ok
+	_ = any(v)    // want `conversion to interface`
+	take(p)       // concrete parameter: ok
 }
 
 // Unmarked functions may do all of this freely.
@@ -54,4 +54,51 @@ func coldPath(r *ring) string {
 func (r *ring) suppressedColdError(err error) {
 	//simlint:ignore hotpath the error branch is cold by construction
 	fmt.Println(err)
+}
+
+// --- interprocedural cases (PR 8): the hot function's own body is clean,
+// but a callee somewhere down the call graph allocates. ---
+
+func cleanHelper(r *ring, v int) { r.buf = append(r.buf, v) }
+
+func chainOuter(r *ring) { chainInner(r) }
+
+func chainInner(r *ring) { r.label = fmt.Sprintf("%d", len(r.buf)) }
+
+//simlint:coldpath
+func sanctionedFormat(r *ring) string { return fmt.Sprintf("%v", r.buf) }
+
+//simlint:hotpath
+func (r *ring) callsClean(v int) {
+	cleanHelper(r, v) // alloc-free callee: ok
+}
+
+//simlint:hotpath
+func (r *ring) callsChain() {
+	chainOuter(r) // want `call in hot path callsChain reaches an allocating callee: hotpath\.chainOuter → hotpath\.chainInner formats via fmt\.Sprintf`
+}
+
+//simlint:hotpath
+func (r *ring) callsColdpath() {
+	_ = sanctionedFormat(r) // coldpath-annotated boundary: ok
+}
+
+// store is an interface verb whose implementations allocate by design;
+// the get method is annotated as a sanctioned boundary, put is not.
+type store interface {
+	//simlint:coldpath
+	get(key string) string
+	put(key string)
+}
+
+type mapStore struct{ m map[string]string }
+
+func (s *mapStore) get(key string) string { return s.m["pfx"+key] }
+
+func (s *mapStore) put(key string) { s.m[key] = "v" + key }
+
+//simlint:hotpath
+func (r *ring) callsIface(s store) {
+	_ = s.get("k") // coldpath interface method: ok
+	s.put("k")     // want `call in hot path callsIface reaches an allocating callee: \(hotpath\.mapStore\)\.put concatenates strings`
 }

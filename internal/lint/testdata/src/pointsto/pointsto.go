@@ -1,0 +1,48 @@
+// Package pointsto is engine-test input for the Andersen points-to core.
+// Variable names are globally unique so the engine test can locate each
+// one through types.Info.Defs without scope bookkeeping.
+package pointsto
+
+type pair struct {
+	a *int
+	b *int
+}
+
+// fieldSensitivity: distinct fields of one struct must keep distinct
+// points-to sets (a field-insensitive solver conflates them).
+func fieldSensitivity() {
+	var fsX, fsY int
+	fsP := pair{a: &fsX, b: &fsY}
+	fsA := fsP.a
+	fsB := fsP.b
+	_, _ = fsA, fsB
+}
+
+// interfaceBoxing: a pointer survives the round trip through an
+// interface box and a type assertion.
+func interfaceBoxing() {
+	var ibX int
+	var ibI any = &ibX
+	ibQ := ibI.(*int)
+	_ = ibQ
+}
+
+// sliceAppendAliasing: an element appended to a slice is visible through
+// a later index expression (append aliases the element cells).
+func sliceAppendAliasing() {
+	var saX int
+	saS := []*int{}
+	saS = append(saS, &saX)
+	saE := saS[0]
+	_ = saE
+}
+
+// mapValueEscape: a value stored under one key is reachable through map
+// lookups (the engine models one $elem cell per map object).
+func mapValueEscape() {
+	var mvX int
+	mvM := map[string]*int{}
+	mvM["k"] = &mvX
+	mvV := mvM["k"]
+	_ = mvV
+}

@@ -26,10 +26,20 @@ func okDestinationState(s *sim.Shard) {
 	})
 }
 
-func okNonBannedFields(s *sim.Shard, seg *segment) {
+type record struct {
+	key string
+	n   int
+}
+
+func okPlainStruct(s *sim.Shard, r *record) {
 	s.Send(1, 10, func(ds *sim.Shard) {
-		_ = seg.name // ok: captured struct, but the field is plain data
+		_ = r.key // ok: nothing kernel-shaped is reachable from r
 	})
+}
+
+func okStoredClosure(s *sim.Shard, key string) {
+	relay := func(ds *sim.Shard) { _ = key }
+	s.Send(1, 10, relay) // ok: stored closure carries only plain data
 }
 
 func badShardCapture(s *sim.Shard) {
@@ -55,6 +65,47 @@ func badGroupCapture(s *sim.Shard, g *sim.ShardGroup) {
 	s.Send(1, 10, func(*sim.Shard) {
 		g.Shard(0) // want `captures \*sim\.ShardGroup "g" from the sending shard`
 	})
+}
+
+// badStructLaunder touches only the plain field, but the captured struct
+// still carries the shard one dereference away: the points-to layer walks
+// every reachable field, not just the ones the closure mentions.
+func badStructLaunder(s *sim.Shard, seg *segment) {
+	s.Send(1, 10, func(ds *sim.Shard) {
+		_ = seg.name // want `reaches a \*sim\.Shard from the sending shard through captured "seg" \(seg\.shard\)`
+	})
+}
+
+// badInterfaceBox launders the shard through an interface: no banned type
+// appears in the closure, but the box the solver tracked does.
+func badInterfaceBox(s *sim.Shard) {
+	var x any = s
+	s.Send(1, 10, func(ds *sim.Shard) {
+		_ = x // want `reaches a \*sim\.Shard from the sending shard through captured "x" \(x\)`
+	})
+}
+
+// badSliceShare shares sending-side shards through a slice element.
+func badSliceShare(s *sim.Shard) {
+	peers := []*sim.Shard{s}
+	s.Send(1, 10, func(ds *sim.Shard) {
+		_ = len(peers) // want `reaches a \*sim\.Shard from the sending shard through captured "peers" \(peers\[i\]\)`
+	})
+}
+
+// badMapValue escapes a shard through a map value.
+func badMapValue(s *sim.Shard) {
+	m := map[string]*sim.Shard{"self": s}
+	s.Send(1, 10, func(ds *sim.Shard) {
+		_ = m // want `reaches a \*sim\.Shard from the sending shard through captured "m" \(m\[val\]\)`
+	})
+}
+
+// badStoredClosure passes a pre-built closure variable as the payload;
+// the syntactic layer never sees its captures, the points-to layer does.
+func badStoredClosure(s *sim.Shard) {
+	relay := func(ds *sim.Shard) { _ = s.ID() }
+	s.Send(1, 10, relay) // want `reaches a \*sim\.Shard from the sending shard \(relay captures s\)`
 }
 
 func badSmuggledShardField(s *sim.Shard, seg *segment) {

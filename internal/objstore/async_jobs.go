@@ -46,7 +46,14 @@ func (s *Server) enqueue(db *DB, j job) {
 	s.jobs.Push(j)
 	if s.workers < db.cfg.AsyncWorkers && s.workers < s.jobs.Len() {
 		s.workers++
-		db.k.Go("o*-async-jobs", func(p *sim.Proc) { db.jobWorker(p, s) })
+		if s.drain == nil {
+			// Built once per server rather than per spawn: enqueue sits on
+			// every acked write, and the stored closure spares a per-write
+			// allocation while keeping spawn order (hence determinism)
+			// identical.
+			s.drain = func(p *sim.Proc) { db.jobWorker(p, s) }
+		}
+		db.k.Go("o*-async-jobs", s.drain)
 	}
 }
 

@@ -72,6 +72,56 @@ func TestAsyncReplicationConverges(t *testing.T) {
 	}
 }
 
+// TestDrainClosureHoisted: the per-server drain closure is built exactly
+// once and reused across worker spawns — enqueue sits on every acked
+// write, so a fresh closure per spawn would put an allocation back on the
+// write path (the regression this test pins). Replication behavior must
+// be unchanged: all jobs still run.
+func TestDrainClosureHoisted(t *testing.T) {
+	k := sim.NewKernel(11)
+	db, c, _ := testDB(k, 5, 3, func(cfg *Config) { cfg.AsyncWorkers = 2 })
+	var firstDrain func(*sim.Proc)
+	const writes = 50
+	k.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < writes; i++ {
+			if err := c.Insert(p, key(i), rec("v")); err != nil {
+				t.Errorf("insert %d: %v", i, err)
+			}
+			for _, s := range db.srvs {
+				if s.drain == nil {
+					continue
+				}
+				if firstDrain == nil {
+					firstDrain = s.drain
+				}
+			}
+		}
+		p.Sleep(2 * time.Second)
+		db.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if firstDrain == nil {
+		t.Fatal("no drain worker was ever spawned")
+	}
+	spawned := 0
+	for _, s := range db.srvs {
+		if s.drain != nil {
+			spawned++
+		}
+		if s.workers != 0 {
+			t.Errorf("node %d: %d workers alive after drain, want 0", s.Node.ID, s.workers)
+		}
+	}
+	if spawned == 0 {
+		t.Error("expected at least one server to have built its drain closure")
+	}
+	if db.AsyncJobsRun != writes*2 {
+		t.Errorf("AsyncJobsRun = %d, want %d (RF-1 per write)", db.AsyncJobsRun, writes*2)
+	}
+}
+
 // TestHandoffWriteAndRecovery: with every placement member down, the
 // write lands on a handoff stand-in; once the replica set recovers, the
 // spilled jobs and the anti-entropy pass push the data home.

@@ -128,8 +128,9 @@ type Server struct {
 	engine *storage.Engine
 
 	jobs    *sim.Queue[job]
-	workers int   // live drain workers, ≤ Config.AsyncWorkers
-	pending []job // updater spillover: jobs awaiting a recovered target
+	workers int             // live drain workers, ≤ Config.AsyncWorkers
+	pending []job           // updater spillover: jobs awaiting a recovered target
+	drain   func(*sim.Proc) // jobWorker body, built once: enqueue runs per acked write
 
 	index map[int]map[kv.Key]kv.Version // partition → key → newest local version
 }

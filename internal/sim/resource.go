@@ -90,7 +90,11 @@ func (r *Resource) Release() {
 }
 
 // panicIdleRelease reports a Release without a matching Acquire. Split out
-// of Release so the hot path stays free of string concatenation.
+// of Release so the hot path stays free of string concatenation; the
+// coldpath mark keeps the interprocedural walk out of a path that ends
+// the process anyway.
+//
+//simlint:coldpath
 func (r *Resource) panicIdleRelease() {
 	panic("sim: release of idle resource " + r.name)
 }

@@ -660,6 +660,11 @@ func (k *Kernel) nextPendingBound() (Time, bool) {
 	return t, true
 }
 
+// blockedNames formats the parked-process inventory for DeadlockError.
+// It runs once, after the event loop has already failed — a sanctioned
+// allocation boundary off RunUntil's hot path.
+//
+//simlint:coldpath
 func (k *Kernel) blockedNames() []string {
 	// The kernel does not keep a registry of all processes (they are
 	// reachable from their own goroutines only), so report count-level
