@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-shard bench bench-kernel bench-shard bench-spectrum lint lint-report vet trace
+.PHONY: all build test race race-shard bench bench-kernel bench-shard bench-spectrum bench-geo lint lint-report vet trace
 
 all: build lint test
 
@@ -51,6 +51,14 @@ bench-spectrum:
 	$(GO) test -bench=Spectrum -benchmem -benchtime=1x -run='^$$' -short -timeout 15m . \
 		| $(GO) run ./cmd/benchjson -o BENCH_spectrum.json
 	@cat BENCH_spectrum.json
+
+# Geo headline artifact: the SLA cell's fixed-EACH_QUORUM versus adaptive
+# write p99 (and the adaptive client's staleness cost) over the 80ms WAN
+# at smoke scale, archived beside the other numbers (DESIGN.md §13).
+bench-geo:
+	$(GO) test -bench='^BenchmarkGeo$$' -benchmem -benchtime=1x -run='^$$' -short -timeout 15m . \
+		| $(GO) run ./cmd/benchjson -o BENCH_geo.json
+	@cat BENCH_geo.json
 
 vet:
 	$(GO) vet ./...

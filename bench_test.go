@@ -252,6 +252,30 @@ func BenchmarkSpectrum(b *testing.B) {
 	}
 }
 
+// BenchmarkGeo runs the multi-DC geo-replication grid at smoke scale,
+// reporting the SLA cell's headline trade: the fixed EACH_QUORUM client's
+// write p99 over the 80 ms WAN versus the adaptive client's write p99 and
+// staleness under the same 40 ms deadline.
+func BenchmarkGeo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := core.SmokeOptions()
+		o.Seed = int64(i + 1)
+		res, err := core.RunGeo(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range res {
+			switch m.Mode {
+			case "sla-fixed":
+				b.ReportMetric(float64(m.WriteP99.Microseconds())/1000, "fixed-p99-ms")
+			case "sla-adaptive":
+				b.ReportMetric(float64(m.WriteP99.Microseconds())/1000, "adaptive-p99-ms")
+				b.ReportMetric(100*m.Consistency.StaleFraction(), "adaptive-stale-%")
+			}
+		}
+	}
+}
+
 // BenchmarkOracleHooks measures the per-event cost of the consistency
 // oracle's write/read hooks, and — on the nil receiver, which is how the
 // databases run in every performance experiment — proves the disabled

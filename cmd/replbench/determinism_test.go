@@ -50,6 +50,30 @@ func TestSweepBitIdentical(t *testing.T) {
 	}
 }
 
+// TestGeoSweepBitIdentical extends the determinism gate to the geo
+// subsystem: the multi-DC grid — WAN-link jitter streams, per-DC quorum
+// fan-out, the DC-partition fault cells, and the adaptive controller's
+// probability-driven decisions — must produce byte-identical CSV across
+// worker-pool sizes AND across kernel shard counts (the 2-DC cells align
+// DC blocks with shard boundaries, so the WAN lookahead path is on trial
+// too).
+func TestGeoSweepBitIdentical(t *testing.T) {
+	base := []string{"-experiment", "geo", "-profile", "smoke", "-csv", "-seed", "42"}
+	serial := capture(t, append(base, "-parallel", "1")...)
+	wide := capture(t, append(base, "-parallel", "8")...)
+	if serial != wide {
+		t.Errorf("-parallel 1 and -parallel 8 geo reports differ:\n%s", firstDiff(serial, wide))
+	}
+	seq := capture(t, append(base, "-shards", "1")...)
+	sharded := capture(t, append(base, "-shards", "4")...)
+	if seq != sharded {
+		t.Errorf("-shards 1 and -shards 4 geo reports differ:\n%s", firstDiff(seq, sharded))
+	}
+	if serial != seq {
+		t.Errorf("-parallel and -shards baselines differ:\n%s", firstDiff(serial, seq))
+	}
+}
+
 // TestTraceBitIdentical extends the invariant to the tracing subsystem:
 // the per-phase decomposition must be byte-identical across worker-pool
 // sizes, and the raw span stream — IDs included, which are drawn from the

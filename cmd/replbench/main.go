@@ -356,13 +356,12 @@ func runAblationA3(ctx *runContext) error {
 }
 
 func runGeo(ctx *runContext) error {
-	g := core.DefaultGeoOptions()
-	g.Seed = ctx.seed
-	res, err := core.RunGeo(g)
+	res, err := core.RunGeo(ctx.o)
 	if err != nil {
 		return err
 	}
 	ctx.render(res.Table())
+	*ctx.findings = append(*ctx.findings, core.CheckGeo(ctx.o, res)...)
 	return nil
 }
 

@@ -35,6 +35,11 @@ type Config struct {
 	// replicas spread across zones (data centers) before doubling up in
 	// any one. With a single zone it is identical to SimpleStrategy.
 	TopologyAware bool
+	// DCReplicas, when non-empty, is full NetworkTopologyStrategy
+	// placement with an explicit replication factor per data center
+	// (DCReplicas[z] replicas in zone z), overriding Replication and
+	// TopologyAware. The effective total replication factor is the sum.
+	DCReplicas []int
 	// ReadCL and WriteCL are the default consistency levels; clients may
 	// override per request.
 	ReadCL, WriteCL kv.ConsistencyLevel
@@ -138,10 +143,37 @@ type DB struct {
 	HintsExpired                   int64
 	CoordinatorTimeouts, Unavails  int64
 	StaleReads, ConsistentChecksOK int64
+	// InterDCForwards counts mutations forwarded across a WAN link — one
+	// per (write, remote DC with a live replica), never one per remote
+	// replica, which is the bandwidth contract of the forwarding path.
+	InterDCForwards int64
 }
 
 // New builds a database over the given server nodes.
 func New(k *sim.Kernel, cfg Config, nodes []*cluster.Node) *DB {
+	if len(cfg.DCReplicas) > 0 {
+		// Clamp each DC's target to its actual host count and derive the
+		// effective total replication factor.
+		hosts := make([]int, len(cfg.DCReplicas))
+		for _, n := range nodes {
+			if n.Zone < len(hosts) {
+				hosts[n.Zone]++
+			}
+		}
+		perDC := append([]int(nil), cfg.DCReplicas...)
+		total := 0
+		for z := range perDC {
+			if perDC[z] < 0 {
+				perDC[z] = 0
+			}
+			if perDC[z] > hosts[z] {
+				perDC[z] = hosts[z]
+			}
+			total += perDC[z]
+		}
+		cfg.DCReplicas = perDC
+		cfg.Replication = total
+	}
 	if cfg.Replication < 1 {
 		cfg.Replication = 1
 	}
@@ -203,6 +235,9 @@ func (db *DB) Replicas() []*Replica { return db.reps }
 // ReplicasFor returns the replica set for key in ring order (main replica
 // first).
 func (db *DB) ReplicasFor(key kv.Key) []*Replica {
+	if len(db.cfg.DCReplicas) > 0 {
+		return db.ring.replicasForDCs(key, db.cfg.DCReplicas)
+	}
 	if db.cfg.TopologyAware {
 		return db.ring.replicasForTopology(key, db.cfg.Replication)
 	}
@@ -298,6 +333,9 @@ func (rep *Replica) applyLocal(p *sim.Proc, db *DB, key kv.Key, rec kv.Record, d
 // hints for down ones, and returns once cl.Required replicas acked.
 func (db *DB) write(p *sim.Proc, coord *Replica, key kv.Key, rec kv.Record, del bool, cl kv.ConsistencyLevel) error {
 	replicas := db.ReplicasFor(key)
+	if db.zones() > 1 {
+		return db.writeMultiDC(p, coord, key, rec, del, cl, replicas)
+	}
 	need := cl.Required(len(replicas))
 	// counts reports whether a replica's ack advances the quorum; for
 	// LOCAL_QUORUM only acks from the coordinator's zone count, though
@@ -438,7 +476,7 @@ func (db *DB) fetchRow(coord, rep *Replica, key kv.Key, digestOnly bool, f *sim.
 				return
 			}
 			if db.tracer != nil {
-				db.tracer.Phase(q, trace.PhaseFanout, rep.Node.ID, t0)
+				db.tracer.Phase(q, legPhase(coord.Node, rep.Node), rep.Node.ID, t0)
 			}
 		}
 		var s0 sim.Time
@@ -464,7 +502,7 @@ func (db *DB) fetchRow(coord, rep *Replica, key kv.Key, digestOnly bool, f *sim.
 				return
 			}
 			if db.tracer != nil {
-				db.tracer.Phase(q, trace.PhaseFanout, coord.Node.ID, t1)
+				db.tracer.Phase(q, legPhase(rep.Node, coord.Node), coord.Node.ID, t1)
 			}
 		}
 		resp.ok = true
@@ -501,13 +539,31 @@ func (db *DB) read(p *sim.Proc, coord *Replica, key kv.Key, cl kv.ConsistencyLev
 	}
 	need := cl.Required(len(replicas))
 	pool := alive
-	if cl == kv.LocalQuorum {
+	switch {
+	case cl == kv.LocalQuorum && db.zones() > 1:
+		// LOCAL_QUORUM reads contact only the coordinator's DC, blocking
+		// for a majority of its replication factor; a coordinator whose DC
+		// holds no replicas degrades to the plain-quorum pool.
+		if local, localNeed := dcLocalPlan(replicas, coord.Node.Zone); localNeed > 0 {
+			pool = local
+			need = localNeed
+		}
+	case cl == kv.LocalQuorum:
 		// LOCAL_QUORUM reads contact only the coordinator's zone.
 		local, localNeed := localPlan(replicas, coord.Node.Zone)
 		if len(local) > 0 {
 			pool = local
 			need = localNeed
 		}
+	case cl == kv.EachQuorum && db.zones() > 1:
+		// EACH_QUORUM reads block on a majority in every DC.
+		eq, ok := db.eachQuorumRead(replicas, coord.Node.Zone)
+		if !ok {
+			db.Unavails++
+			return nil, kv.ErrUnavailable
+		}
+		pool = eq
+		need = len(eq)
 	}
 	if len(pool) < need {
 		db.Unavails++

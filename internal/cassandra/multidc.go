@@ -1,0 +1,407 @@
+package cassandra
+
+// Multi-datacenter coordinator paths. A cluster with more than one zone
+// (data center) switches writes and DC-aware reads onto the logic in this
+// file: per-DC acknowledgement targets for LOCAL_QUORUM and EACH_QUORUM,
+// and a forwarding write fan-out that sends ONE mutation per remote DC
+// across the WAN — to a forwarder replica that relays it over local links —
+// instead of one per remote replica, exactly as Cassandra's coordinator
+// does. Single-zone clusters never reach this code and keep the original
+// fan-out byte for byte.
+
+import (
+	"time"
+
+	"cloudbench/internal/cluster"
+	"cloudbench/internal/consistency"
+	"cloudbench/internal/kv"
+	"cloudbench/internal/sim"
+	"cloudbench/internal/trace"
+)
+
+// zones returns the cluster's zone (data center) count; 1 without a
+// cluster.
+func (db *DB) zones() int {
+	if db.cl == nil {
+		return 1
+	}
+	return db.cl.Config.Zones
+}
+
+// legPhase picks the trace phase for one network leg: cross-DC legs bill
+// to the wan phase so tracebreak can attribute wide-area latency; local
+// legs stay replica fan-out.
+func legPhase(a, b *cluster.Node) trace.Phase {
+	if a.Zone != b.Zone {
+		return trace.PhaseWAN
+	}
+	return trace.PhaseFanout
+}
+
+// dcLocalPlan restricts replicas to the coordinator's DC with the real
+// NetworkTopologyStrategy LOCAL_QUORUM target: a majority of the DC's
+// replication factor, counting down replicas — a DC that has lost half its
+// replicas is unavailable at LOCAL_QUORUM even though the survivors could
+// form a majority among themselves. need is 0 when the DC holds no
+// replicas; the caller then degrades to a plain majority.
+func dcLocalPlan(replicas []*Replica, zone int) (local []*Replica, need int) {
+	rf := 0
+	for _, r := range replicas {
+		if r.Node.Zone != zone {
+			continue
+		}
+		rf++
+		if !r.Node.Down() {
+			local = append(local, r)
+		}
+	}
+	if rf == 0 {
+		return nil, 0
+	}
+	return local, rf/2 + 1
+}
+
+// eachQuorumRead selects the contact set for an EACH_QUORUM read: for
+// every DC holding replicas, the first majority-of-RF live replicas in
+// ring order, the coordinator's DC first so a nearby replica serves the
+// data read. ok is false when some DC cannot seat its majority.
+func (db *DB) eachQuorumRead(replicas []*Replica, zone int) (pool []*Replica, ok bool) {
+	zones := db.zones()
+	rfZ := make([]int, zones)
+	liveZ := make([][]*Replica, zones)
+	for _, r := range replicas {
+		z := r.Node.Zone
+		rfZ[z]++
+		if !r.Node.Down() {
+			liveZ[z] = append(liveZ[z], r)
+		}
+	}
+	for i := 0; i < zones; i++ {
+		z := (zone + i) % zones
+		if rfZ[z] == 0 {
+			continue
+		}
+		n := rfZ[z]/2 + 1
+		if len(liveZ[z]) < n {
+			return nil, false
+		}
+		pool = append(pool, liveZ[z][:n]...)
+	}
+	return pool, true
+}
+
+// dcQuorum tracks write acknowledgements against either per-DC targets
+// (LOCAL_QUORUM, EACH_QUORUM) or a single global target (the zone-agnostic
+// levels), resolving a future as soon as the outcome is decided either
+// way.
+type dcQuorum struct {
+	f    *sim.Future[bool]
+	done bool
+	// Per-zone mode: remaining acks required and tolerable losses per
+	// zone; pending counts zones still short of their target.
+	need, spare []int
+	pending     int
+	// Global mode: remaining acks and tolerable losses over all zones.
+	global                bool
+	needTotal, spareTotal int
+}
+
+// newZoneQuorum builds a per-zone tracker: need[z] acks from zone z, with
+// live[z] countable replicas there.
+func newZoneQuorum(k *sim.Kernel, need, live []int) *dcQuorum {
+	q := &dcQuorum{f: sim.NewFuture[bool](k), need: need, spare: make([]int, len(need))}
+	for z, n := range need {
+		if n > 0 {
+			q.pending++
+			q.spare[z] = live[z] - n
+		}
+	}
+	if q.pending == 0 {
+		q.settle(true)
+	}
+	return q
+}
+
+// newGlobalQuorum builds a zone-agnostic tracker: need acks from countable
+// live replicas anywhere.
+func newGlobalQuorum(k *sim.Kernel, need, countable int) *dcQuorum {
+	q := &dcQuorum{f: sim.NewFuture[bool](k), global: true, needTotal: need, spareTotal: countable - need}
+	if need <= 0 {
+		q.settle(true)
+	}
+	return q
+}
+
+func (q *dcQuorum) settle(v bool) {
+	if q.done {
+		return
+	}
+	q.done = true
+	q.f.Set(v)
+}
+
+// ack records a successful replica write in zone z.
+func (q *dcQuorum) ack(z int) {
+	if q.done {
+		return
+	}
+	if q.global {
+		q.needTotal--
+		if q.needTotal == 0 {
+			q.settle(true)
+		}
+		return
+	}
+	if q.need[z] <= 0 {
+		return
+	}
+	q.need[z]--
+	if q.need[z] == 0 {
+		q.pending--
+		if q.pending == 0 {
+			q.settle(true)
+		}
+	}
+}
+
+// fail records a lost replica write in zone z; once a zone (or the global
+// count) can no longer reach its target the write is unavailable.
+func (q *dcQuorum) fail(z int) {
+	if q.done {
+		return
+	}
+	if q.global {
+		q.spareTotal--
+		if q.spareTotal < 0 {
+			q.settle(false)
+		}
+		return
+	}
+	if q.need[z] <= 0 {
+		return
+	}
+	q.spare[z]--
+	if q.spare[z] < 0 {
+		q.settle(false)
+	}
+}
+
+// waitTimeout blocks until the outcome is decided or the deadline passes.
+func (q *dcQuorum) waitTimeout(p *sim.Proc, d time.Duration) (ok, decided bool) {
+	return q.f.AwaitTimeout(p, d)
+}
+
+// writeMultiDC is the coordinator write path on a multi-DC cluster. The
+// mutation reaches every replica, but differently per distance: replicas
+// in the coordinator's own DC get a direct message each, while each remote
+// DC with a live replica gets one message across the WAN to a forwarder
+// that applies it and relays it to the DC's other replicas over local
+// links. Every replica acks the coordinator directly; down replicas are
+// hinted at the coordinator as usual.
+func (db *DB) writeMultiDC(p *sim.Proc, coord *Replica, key kv.Key, rec kv.Record, del bool, cl kv.ConsistencyLevel, replicas []*Replica) error {
+	zones := db.zones()
+	rfZ := make([]int, zones)
+	liveZ := make([]int, zones)
+	byZone := make([][]*Replica, zones)
+	for _, r := range replicas {
+		z := r.Node.Zone
+		rfZ[z]++
+		if !r.Node.Down() {
+			liveZ[z]++
+		}
+		byZone[z] = append(byZone[z], r)
+	}
+	countable := 0
+	for _, n := range liveZ {
+		countable += n
+	}
+
+	perZone := false
+	need := make([]int, zones)
+	needTotal := 0
+	switch cl {
+	case kv.EachQuorum:
+		perZone = true
+		for z, rf := range rfZ {
+			if rf > 0 {
+				need[z] = rf/2 + 1
+			}
+		}
+	case kv.LocalQuorum:
+		if cz := coord.Node.Zone; rfZ[cz] > 0 {
+			perZone = true
+			need[cz] = rfZ[cz]/2 + 1
+		} else {
+			// The coordinator's DC holds no replicas: degrade to a plain
+			// majority, mirroring the read path.
+			needTotal = cl.Required(len(replicas))
+		}
+	default:
+		needTotal = cl.Required(len(replicas))
+	}
+	var q *dcQuorum
+	if perZone {
+		for z := range need {
+			if liveZ[z] < need[z] {
+				db.Unavails++
+				return kv.ErrUnavailable
+			}
+		}
+		q = newZoneQuorum(db.k, need, liveZ)
+	} else {
+		if countable < needTotal {
+			db.Unavails++
+			return kv.ErrUnavailable
+		}
+		q = newGlobalQuorum(db.k, needTotal, countable)
+	}
+
+	ver := db.version()
+	if db.oracle != nil {
+		db.oracle.WriteBegin(key, ver, len(replicas), db.k.Now())
+	}
+	size := db.mutationSize(key, rec)
+	cz := coord.Node.Zone
+	for z := 0; z < zones; z++ {
+		group := byZone[z]
+		if len(group) == 0 {
+			continue
+		}
+		if z == cz {
+			db.fanOutLocalDC(coord, group, key, rec, del, ver, size, q)
+			continue
+		}
+		db.forwardToDC(coord, group, key, rec, del, ver, size, q)
+	}
+	ok, decided := q.waitTimeout(p, db.cfg.Timeout)
+	if !decided {
+		db.CoordinatorTimeouts++
+		return kv.ErrTimeout
+	}
+	if !ok {
+		db.Unavails++
+		return kv.ErrUnavailable
+	}
+	if db.oracle != nil {
+		db.oracle.WriteAck(key, ver, db.k.Now())
+	}
+	return nil
+}
+
+// fanOutLocalDC sends the mutation directly to every replica in the
+// coordinator's own DC — the single-DC fan-out, scoped to one zone.
+func (db *DB) fanOutLocalDC(coord *Replica, group []*Replica, key kv.Key, rec kv.Record, del bool, ver kv.Version, size int, q *dcQuorum) {
+	z := coord.Node.Zone
+	for _, rep := range group {
+		rep := rep
+		if rep.Node.Down() {
+			if db.cfg.HintedHandoff {
+				db.noteHint(coord, hint{target: rep, key: key, rec: rec, del: del, ver: ver, stored: db.k.Now()})
+			}
+			continue
+		}
+		if rep == coord {
+			// Local apply still runs concurrently so a slow local
+			// commit-log append does not serialize the fan-out.
+			db.k.Go("c*-local-write", func(q2 *sim.Proc) {
+				rep.applyLocal(q2, db, key, rec, del, ver, consistency.ApplyWrite)
+				q.ack(z)
+			})
+			continue
+		}
+		db.k.Go("c*-repl-write", func(q2 *sim.Proc) {
+			var t0 sim.Time
+			if db.tracer != nil {
+				t0 = q2.Now()
+			}
+			if !coord.Node.SendTo(q2, rep.Node, size) {
+				q.fail(z)
+				return
+			}
+			if db.tracer != nil {
+				db.tracer.Phase(q2, trace.PhaseFanout, rep.Node.ID, t0)
+			}
+			rep.applyLocal(q2, db, key, rec, del, ver, consistency.ApplyWrite)
+			db.ackCoordinator(q2, rep, coord, q)
+		})
+	}
+}
+
+// forwardToDC sends the mutation once across the WAN to the first live
+// replica of a remote DC; that forwarder applies it and relays it over
+// local links to the DC's other live replicas. A dropped forward leg loses
+// the mutation for the whole DC, so it fails every live replica there.
+func (db *DB) forwardToDC(coord *Replica, group []*Replica, key kv.Key, rec kv.Record, del bool, ver kv.Version, size int, q *dcQuorum) {
+	live := make([]*Replica, 0, len(group))
+	for _, rep := range group {
+		if rep.Node.Down() {
+			if db.cfg.HintedHandoff {
+				db.noteHint(coord, hint{target: rep, key: key, rec: rec, del: del, ver: ver, stored: db.k.Now()})
+			}
+			continue
+		}
+		live = append(live, rep)
+	}
+	if len(live) == 0 {
+		return
+	}
+	z := live[0].Node.Zone
+	fwd := live[0]
+	db.InterDCForwards++
+	db.k.Go("c*-fwd-write", func(q2 *sim.Proc) {
+		var t0 sim.Time
+		if db.tracer != nil {
+			t0 = q2.Now()
+		}
+		if !coord.Node.SendTo(q2, fwd.Node, size) {
+			for range live {
+				q.fail(z)
+			}
+			return
+		}
+		if db.tracer != nil {
+			db.tracer.Phase(q2, trace.PhaseWAN, fwd.Node.ID, t0)
+		}
+		// Relay before the forwarder's own apply so a slow local commit
+		// log does not serialize the intra-DC fan-out.
+		for _, rep := range live[1:] {
+			rep := rep
+			db.k.Go("c*-relay-write", func(q3 *sim.Proc) {
+				var r0 sim.Time
+				if db.tracer != nil {
+					r0 = q3.Now()
+				}
+				if !fwd.Node.SendTo(q3, rep.Node, size) {
+					q.fail(z)
+					return
+				}
+				if db.tracer != nil {
+					db.tracer.Phase(q3, trace.PhaseFanout, rep.Node.ID, r0)
+				}
+				rep.applyLocal(q3, db, key, rec, del, ver, consistency.ApplyWrite)
+				db.ackCoordinator(q3, rep, coord, q)
+			})
+		}
+		fwd.applyLocal(q2, db, key, rec, del, ver, consistency.ApplyWrite)
+		db.ackCoordinator(q2, fwd, coord, q)
+	})
+}
+
+// ackCoordinator sends a replica's write ack back to the coordinator —
+// billing cross-DC acks to the wan phase — and resolves it against the
+// quorum.
+func (db *DB) ackCoordinator(p *sim.Proc, rep, coord *Replica, q *dcQuorum) {
+	z := rep.Node.Zone
+	var t0 sim.Time
+	if db.tracer != nil {
+		t0 = p.Now()
+	}
+	if !rep.Node.SendTo(p, coord.Node, db.cfg.RequestOverhead) {
+		q.fail(z)
+		return
+	}
+	if db.tracer != nil {
+		db.tracer.Phase(p, legPhase(rep.Node, coord.Node), coord.Node.ID, t0)
+	}
+	q.ack(z)
+}

@@ -73,6 +73,37 @@ func (r *ring) replicasFor(key kv.Key, rf int) []*Replica {
 	return out
 }
 
+// replicasForDCs is NetworkTopologyStrategy placement with an explicit
+// per-DC replication factor: walking clockwise from the key's token, a
+// replica is taken when its zone still needs replicas, until every zone's
+// target is met (or its hosts are exhausted). The first replica taken in
+// walk order is the main replica.
+func (r *ring) replicasForDCs(key kv.Key, perDC []int) []*Replica {
+	if len(r.entries) == 0 {
+		return nil
+	}
+	t := hashKey(key)
+	start := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].token >= t })
+	remaining := append([]int(nil), perDC...)
+	total := 0
+	for _, n := range remaining {
+		total += n
+	}
+	out := make([]*Replica, 0, total)
+	seen := make(map[*Replica]bool, total)
+	for i := 0; i < len(r.entries) && len(out) < total; i++ {
+		e := r.entries[(start+i)%len(r.entries)]
+		z := e.rep.Node.Zone
+		if seen[e.rep] || z >= len(remaining) || remaining[z] <= 0 {
+			continue
+		}
+		seen[e.rep] = true
+		remaining[z]--
+		out = append(out, e.rep)
+	}
+	return out
+}
+
 // replicasForTopology is NetworkTopologyStrategy-style placement: walking
 // clockwise, it first takes at most one replica per zone until every zone
 // is represented (or exhausted), then fills the remainder in ring order.

@@ -46,6 +46,13 @@ type Config struct {
 	Zones        int
 	InterZoneRTT time.Duration
 
+	// Geo, when non-nil, replaces the flat Zones/InterZoneRTT model with
+	// the full rack → DC hierarchy: explicit per-DC node blocks, racks
+	// inside each DC, and asymmetric per-direction WAN latency with
+	// bounded seeded jitter. Zones and InterZoneRTT are ignored when set
+	// (the zone count becomes len(Geo.DCSizes)).
+	Geo *GeoTopology
+
 	// Disk
 	Disk DiskConfig
 }
@@ -71,21 +78,35 @@ type Cluster struct {
 	K      *sim.Kernel
 	Config Config
 	Nodes  []*Node
+
+	// geo carries the WAN jitter streams and partition state; nil
+	// without a GeoTopology.
+	geo *geoState
 }
 
 // New builds a cluster of cfg.Nodes nodes on kernel k.
 func New(k *sim.Kernel, cfg Config) *Cluster {
+	if cfg.Geo != nil {
+		cfg.Zones = len(cfg.Geo.DCSizes)
+	}
 	if cfg.Zones < 1 {
 		cfg.Zones = 1
 	}
 	c := &Cluster{K: k, Config: cfg}
+	if cfg.Geo != nil {
+		c.geo = newGeoState(k, cfg)
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n := newNode(c, i)
-		n.Zone = i * cfg.Zones / cfg.Nodes
+		n.Zone = cfg.zoneOf(i)
+		n.Rack = cfg.rackOf(i)
 		c.Nodes = append(c.Nodes, n)
 	}
 	return c
 }
+
+// Zones returns the number of zones (data centers) in the topology.
+func (c *Cluster) Zones() int { return c.Config.Zones }
 
 // ZoneNodes returns the nodes in the given zone.
 func (c *Cluster) ZoneNodes(zone int) []*Node {
@@ -102,6 +123,7 @@ func (c *Cluster) ZoneNodes(zone int) []*Node {
 type Node struct {
 	ID      int
 	Zone    int // data center / region index, 0-based
+	Rack    int // rack index within the zone, 0-based (GeoTopology only)
 	Name    string
 	CPU     *sim.Resource
 	Disk    *Disk
@@ -201,7 +223,13 @@ func (n *Node) netDelay(dst *Node, size int) time.Duration {
 	done := start.Add(serialize)
 	n.nicFreeAt = done
 	prop := n.cluster.Config.BaseRTT / 2
-	if dst.Zone != n.Zone && n.cluster.Config.InterZoneRTT > 0 {
+	if g := n.cluster.Config.Geo; g != nil {
+		if dst.Zone != n.Zone {
+			prop = n.cluster.wanDelay(n.Zone, dst.Zone)
+		} else if dst.Rack != n.Rack && g.InterRackRTT > 0 {
+			prop = g.InterRackRTT / 2
+		}
+	} else if dst.Zone != n.Zone && n.cluster.Config.InterZoneRTT > 0 {
 		prop = n.cluster.Config.InterZoneRTT / 2
 	}
 	return done.Sub(k.Now()) + prop
@@ -209,11 +237,11 @@ func (n *Node) netDelay(dst *Node, size int) time.Duration {
 
 // SendTo blocks the calling process for the time it takes a message of the
 // given size to travel from n to dst (NIC serialization + propagation).
-// It returns false without delay if either endpoint is down, modeling a
-// dropped message. Use it when the caller's process "carries" the request,
-// e.g. an RPC leg.
+// It returns false without delay if either endpoint is down or the zones
+// are partitioned, modeling a dropped message. Use it when the caller's
+// process "carries" the request, e.g. an RPC leg.
 func (n *Node) SendTo(p *sim.Proc, dst *Node, size int) bool {
-	if n.down || dst.down {
+	if n.down || dst.down || n.cluster.zoneCut(n.Zone, dst.Zone) {
 		return false
 	}
 	if dst == n {
@@ -222,7 +250,7 @@ func (n *Node) SendTo(p *sim.Proc, dst *Node, size int) bool {
 	d := n.netDelay(dst, size)
 	n.BytesSent += int64(size)
 	p.Sleep(d)
-	if dst.down {
+	if dst.down || n.cluster.zoneCut(n.Zone, dst.Zone) {
 		return false
 	}
 	dst.BytesReceived += int64(size)
@@ -231,9 +259,10 @@ func (n *Node) SendTo(p *sim.Proc, dst *Node, size int) bool {
 
 // Deliver schedules fn to run (in kernel context) after the network delay
 // for a message of the given size from n to dst. The caller does not
-// block; fn is dropped if either endpoint is down at send or receive time.
+// block; fn is dropped if either endpoint is down — or the zones are
+// partitioned — at send or receive time.
 func (n *Node) Deliver(dst *Node, size int, fn func()) {
-	if n.down || dst.down {
+	if n.down || dst.down || n.cluster.zoneCut(n.Zone, dst.Zone) {
 		return
 	}
 	var d time.Duration
@@ -243,7 +272,7 @@ func (n *Node) Deliver(dst *Node, size int, fn func()) {
 	}
 	k := n.cluster.K
 	k.After(d, func() {
-		if dst.down {
+		if dst.down || n.cluster.zoneCut(n.Zone, dst.Zone) {
 			return
 		}
 		dst.BytesReceived += int64(size)

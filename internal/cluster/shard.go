@@ -22,8 +22,16 @@ type ShardPlan struct {
 // Node i goes to shard i*shards/nodes — the same contiguous split rule New
 // uses for zones, so when the shard count divides the zone count evenly the
 // shard boundaries align with zone boundaries and the lookahead widens from
-// BaseRTT/2 to InterZoneRTT/2.
+// BaseRTT/2 to InterZoneRTT/2. With a GeoTopology whose DC blocks align
+// with the shard split (e.g. equal DCs, one shard per DC), every
+// cross-shard edge is a WAN edge and the lookahead widens to the minimum
+// cross-DC one-way base latency — WAN jitter is additive and non-negative,
+// so the base stays a true lower bound and the conservative window engine
+// stays correct.
 func PlanShards(cfg Config, shards int) ShardPlan {
+	if cfg.Geo != nil {
+		cfg.Zones = len(cfg.Geo.DCSizes)
+	}
 	if cfg.Zones < 1 {
 		cfg.Zones = 1
 	}
@@ -34,10 +42,8 @@ func PlanShards(cfg Config, shards int) ShardPlan {
 		shards = cfg.Nodes
 	}
 	p := ShardPlan{Shards: shards, NodeShard: make([]int, cfg.Nodes)}
-	zone := make([]int, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		p.NodeShard[i] = i * shards / cfg.Nodes
-		zone[i] = i * cfg.Zones / cfg.Nodes
 	}
 	if shards == 1 {
 		return p // no cross-shard edges; lookahead is unused
@@ -51,10 +57,7 @@ func PlanShards(cfg Config, shards int) ShardPlan {
 			if p.NodeShard[i] == p.NodeShard[j] {
 				continue
 			}
-			oneWay := cfg.BaseRTT / 2
-			if zone[i] != zone[j] && cfg.InterZoneRTT > 0 {
-				oneWay = cfg.InterZoneRTT / 2
-			}
+			oneWay := cfg.minOneWay(i, j)
 			if min == 0 || oneWay < min {
 				min = oneWay
 			}

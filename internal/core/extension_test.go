@@ -6,43 +6,55 @@ import (
 	"time"
 )
 
-func TestRunGeoLatencyOrdering(t *testing.T) {
-	o := DefaultGeoOptions()
-	o.Records = 800
-	o.OpsPerLevel = 1500
+// geoTestOptions trims the smoke profile further so the full geo grid —
+// 18 RTT × level cells, the RF sweep, the fault cells, and the SLA pair —
+// stays cheap enough for the unit suite.
+func geoTestOptions() Options {
+	o := SmokeOptions()
+	o.StressRecords = 400
+	o.StressOps = 1_600
+	o.Threads = 32
+	return o
+}
+
+func TestRunGeoReproducesFindings(t *testing.T) {
+	o := geoTestOptions()
 	res, err := RunGeo(o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res) != 4 {
-		t.Fatalf("levels = %d", len(res))
+	if want := len(geoCells(o)); len(res) != want {
+		t.Fatalf("cells = %d, want %d", len(res), want)
 	}
-	byLevel := map[string]GeoResult{}
-	for _, g := range res {
-		byLevel[g.Level] = g
-		if g.Errors > 0 {
-			t.Errorf("%s: %d errors", g.Level, g.Errors)
+	for _, f := range CheckGeo(o, res) {
+		if !f.Pass {
+			t.Errorf("finding failed: %s", f)
 		}
 	}
-	wan := 40 * time.Millisecond // half the 80ms inter-zone RTT
-	// ONE and LOCAL_QUORUM stay intra-zone.
+	// The WAN floor separates the write levels at the anchor point: an
+	// EACH_QUORUM write waits out the 80ms round trip, LOCAL_QUORUM and
+	// ONE complete inside the DC.
+	anchor := rfLabel(geoUniformRF(2, 2))
+	eq := res.find(geoModeGrid, 2, geoAnchorRTT, "EACH_QUORUM", anchor)
 	for _, lv := range []string{"ONE", "LOCAL_QUORUM"} {
-		if byLevel[lv].WriteMean > wan {
-			t.Errorf("%s write mean %v pays the WAN", lv, byLevel[lv].WriteMean)
+		m := res.find(geoModeGrid, 2, geoAnchorRTT, lv, anchor)
+		if m == nil || eq == nil {
+			t.Fatalf("missing anchor cell %s", lv)
 		}
-		if byLevel[lv].ReadMean > wan {
-			t.Errorf("%s read mean %v pays the WAN", lv, byLevel[lv].ReadMean)
+		if m.WriteMean > 40*time.Millisecond {
+			t.Errorf("%s write mean %v pays the WAN", lv, m.WriteMean)
+		}
+		if m.Errors > 0 {
+			t.Errorf("%s: %d errors on a healthy cluster", lv, m.Errors)
+		}
+		if eq.WriteMean < 2*m.WriteMean {
+			t.Errorf("EACH_QUORUM write mean %v not clearly above %s's %v", eq.WriteMean, lv, m.WriteMean)
 		}
 	}
-	// ALL always crosses zones (rf 4 spans both); QUORUM (3 of 4) needs a
-	// remote ack too with 2 replicas per zone.
-	for _, lv := range []string{"QUORUM", "ALL"} {
-		if byLevel[lv].WriteMean < wan {
-			t.Errorf("%s write mean %v suspiciously below the WAN floor", lv, byLevel[lv].WriteMean)
-		}
-	}
-	if !strings.Contains(res.Table().String(), "LOCAL_QUORUM") {
-		t.Error("table missing LOCAL_QUORUM row")
+	// The RF-per-DC sweep keeps the NetworkTopologyStrategy label in the
+	// rendered table.
+	if s := res.Table().String(); !strings.Contains(s, "3+1") || !strings.Contains(s, "sla-adaptive") {
+		t.Error("table missing RF-per-DC or SLA rows")
 	}
 }
 

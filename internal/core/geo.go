@@ -2,125 +2,507 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"cloudbench/internal/cassandra"
 	"cloudbench/internal/cluster"
+	"cloudbench/internal/consistency"
+	"cloudbench/internal/geo"
 	"cloudbench/internal/kv"
 	"cloudbench/internal/sim"
 	"cloudbench/internal/stats"
 	"cloudbench/internal/ycsb"
 )
 
-// GeoOptions parameterizes the geo-distributed extension experiment (§6:
-// "we need to build a geo-distributed testbed to conduct such tests").
-type GeoOptions struct {
-	Seed           int64
-	ServersPerZone int
-	Replication    int
-	InterZoneRTT   time.Duration
-	Records        int64
-	OpsPerLevel    int64
-	Threads        int
+// The geo-replication experiment (§6: "we need to build a geo-distributed
+// testbed to conduct such tests").
+//
+// Where the paper's figures run on one rack, this grid runs Cassandra
+// across 2- and 3-datacenter topologies (cluster.GeoTopology) with
+// NetworkTopologyStrategy placement (cassandra.Config.DCReplicas) and
+// clients attached in every DC, and sweeps the three write levels whose
+// WAN behavior differs structurally — ONE (any single ack), LOCAL_QUORUM
+// (majority in the coordinator's DC, WAN traffic fully asynchronous), and
+// EACH_QUORUM (majority in every DC, so the slowest WAN round trip is on
+// the write path) — against WAN RTTs from regional (20 ms) to
+// intercontinental (200 ms). Reads stay at LOCAL_QUORUM throughout: the
+// grid isolates what the *write* level costs and leaks.
+//
+// Three extra cell families complete the trade-off picture:
+//   - an RF-per-DC sweep at the 2-DC anchor point, varying the
+//     NetworkTopologyStrategy allocation ({1,1} → {3,3}) at fixed level;
+//   - two DC-partition fault cells (EACH_QUORUM and LOCAL_QUORUM) where
+//     the WAN link is cut a quarter into the run and healed at the
+//     midpoint, measuring availability under partition;
+//   - two SLA cells comparing a fixed EACH_QUORUM client against the
+//     adaptive client (package geo) defending a 40 ms write deadline over
+//     an 80 ms WAN — tail latency on one side, oracle-measured staleness
+//     on the other.
+//
+// Every cell attaches the consistency oracle with the audit's
+// MutationStage jitter, so the staleness each level leaks is a measured
+// column, not a story. GC pauses stay off in this experiment: the effects
+// under test are multi-millisecond WAN waits and the 40 ms SLA verdict,
+// and 25 ms JVM pause tails (measured by the single-rack figures) would
+// smear both without adding geo-specific information.
+
+const (
+	// geoServersPerDC keeps each DC small enough that the 3-DC × 200 ms
+	// cells stay cheap while every DC can still hold a 3-replica quorum.
+	geoServersPerDC = 3
+	// geoWANJitter spreads per-message WAN latency uniformly over
+	// [base, base+jitter): enough variance to exercise the seeded
+	// per-link streams without blurring the level separation.
+	geoWANJitter = 2 * time.Millisecond
+	// geoAnchorRTT is the RTT of the RF-sweep, fault, and SLA cells.
+	geoAnchorRTT = 80 * time.Millisecond
+	// geoSLADeadline is the write-latency SLA the adaptive client
+	// defends: half the anchor RTT, affordable at LOCAL_QUORUM but not
+	// at EACH_QUORUM.
+	geoSLADeadline = 40 * time.Millisecond
+)
+
+// geoRTTs is the WAN round-trip sweep: same-region, cross-region, and
+// intercontinental.
+func geoRTTs() []time.Duration {
+	return []time.Duration{20 * time.Millisecond, 80 * time.Millisecond, 200 * time.Millisecond}
 }
 
-// DefaultGeoOptions models two regions 80 ms apart.
-func DefaultGeoOptions() GeoOptions {
-	return GeoOptions{
-		Seed:           1,
-		ServersPerZone: 6,
-		Replication:    4,
-		InterZoneRTT:   80 * time.Millisecond,
-		Records:        2_000,
-		OpsPerLevel:    3_000,
-		Threads:        48,
+// geoLevels returns the swept write levels. Reads run at LOCAL_QUORUM in
+// every cell so the columns isolate the write level's cost.
+func geoLevels() []ConsistencySetting {
+	return []ConsistencySetting{
+		{Name: "ONE", Read: kv.LocalQuorum, Write: kv.One},
+		{Name: "LOCAL_QUORUM", Read: kv.LocalQuorum, Write: kv.LocalQuorum},
+		{Name: "EACH_QUORUM", Read: kv.LocalQuorum, Write: kv.EachQuorum},
 	}
 }
 
-// GeoResult is one consistency level's latency profile from a zone-0
-// client against a two-zone deployment.
-type GeoResult struct {
-	Level     string
-	ReadMean  time.Duration
-	ReadP95   time.Duration
-	WriteMean time.Duration
-	WriteP95  time.Duration
-	Errors    int64
-}
-
-// GeoResults collects the sweep.
-type GeoResults []GeoResult
-
-// Table renders the geo experiment.
-func (r GeoResults) Table() *stats.Table {
-	t := stats.NewTable(
-		"Extension — geo-distributed read/write latency by consistency level (2 zones)",
-		"level", "read-mean", "read-p95", "write-mean", "write-p95", "errors")
-	for _, g := range r {
-		t.AddRow(g.Level,
-			g.ReadMean.Round(time.Microsecond).String(), g.ReadP95.Round(time.Microsecond).String(),
-			g.WriteMean.Round(time.Microsecond).String(), g.WriteP95.Round(time.Microsecond).String(),
-			g.Errors)
+// geoThreads scales the client shape down from the single-rack stress
+// figures: the geo cells measure per-operation WAN waits, not saturation,
+// and fewer closed-loop threads keep queueing out of the latency columns.
+func geoThreads(o Options) int {
+	t := o.Threads / 4
+	if t > 64 {
+		t = 64
+	}
+	if t < 1 {
+		t = 1
 	}
 	return t
 }
 
-// RunGeo measures read and write latency from a client in zone 0 at each
-// consistency level, over a topology-aware Cassandra spanning two zones.
-// LOCAL_QUORUM should track intra-zone latency; QUORUM and ALL pay the
-// wide-area round trip on most or all operations.
-func RunGeo(o GeoOptions) (GeoResults, error) {
-	levels := []ConsistencySetting{
-		{Name: "ONE", Read: kv.One, Write: kv.One},
-		{Name: "LOCAL_QUORUM", Read: kv.LocalQuorum, Write: kv.LocalQuorum},
-		{Name: "QUORUM", Read: kv.Quorum, Write: kv.Quorum},
-		{Name: "ALL", Read: kv.All, Write: kv.All},
+// geoOps is the per-cell operation count.
+func geoOps(o Options) int64 { return o.StressOps / 2 }
+
+// geoUniformRF is the default NetworkTopologyStrategy allocation: rf
+// replicas in each of dcs data centers.
+func geoUniformRF(dcs, rf int) []int {
+	out := make([]int, dcs)
+	for i := range out {
+		out[i] = rf
 	}
-	var out GeoResults
-	for _, lv := range levels {
-		res, err := runGeoLevel(o, lv)
-		if err != nil {
-			return nil, fmt.Errorf("geo %s: %w", lv.Name, err)
-		}
-		out = append(out, res)
-	}
-	return out, nil
+	return out
 }
 
-func runGeoLevel(o GeoOptions, lv ConsistencySetting) (GeoResult, error) {
-	k := sim.NewKernel(o.Seed)
-	ccfg := cluster.DefaultConfig()
-	ccfg.Nodes = 2*o.ServersPerZone + 1
-	ccfg.Zones = 2
-	ccfg.InterZoneRTT = o.InterZoneRTT
-	rack := cluster.New(k, ccfg)
-	servers := rack.Nodes[:2*o.ServersPerZone]
-	clientNode := rack.Nodes[2*o.ServersPerZone]
+// rfLabel renders an RF-per-DC allocation as "2+2".
+func rfLabel(perDC []int) string {
+	parts := make([]string, len(perDC))
+	for i, rf := range perDC {
+		parts[i] = fmt.Sprintf("%d", rf)
+	}
+	return strings.Join(parts, "+")
+}
+
+// Geo cell modes.
+const (
+	geoModeGrid     = "grid"
+	geoModeFault    = "fault"
+	geoModeFixed    = "sla-fixed"
+	geoModeAdaptive = "sla-adaptive"
+)
+
+// geoCell is one grid point of the geo sweep.
+type geoCell struct {
+	dcs   int
+	rtt   time.Duration
+	lv    ConsistencySetting
+	perDC []int
+	mode  string
+}
+
+// geoCells enumerates the canonical sweep order: the 2- and 3-DC RTT ×
+// level grids, the RF-per-DC sweep at the anchor point, the two
+// DC-partition fault cells, and the two SLA cells last.
+func geoCells(o Options) []geoCell {
+	var cells []geoCell
+	for _, dcs := range []int{2, 3} {
+		for _, rtt := range geoRTTs() {
+			for _, lv := range geoLevels() {
+				cells = append(cells, geoCell{dcs: dcs, rtt: rtt, lv: lv, perDC: geoUniformRF(dcs, 2), mode: geoModeGrid})
+			}
+		}
+	}
+	for _, perDC := range [][]int{{1, 1}, {3, 1}, {3, 3}} {
+		cells = append(cells, geoCell{dcs: 2, rtt: geoAnchorRTT, lv: geoLevels()[1], perDC: perDC, mode: geoModeGrid})
+	}
+	for _, lv := range []ConsistencySetting{geoLevels()[2], geoLevels()[1]} {
+		cells = append(cells, geoCell{dcs: 2, rtt: geoAnchorRTT, lv: lv, perDC: geoUniformRF(2, 2), mode: geoModeFault})
+	}
+	cells = append(cells,
+		geoCell{dcs: 2, rtt: geoAnchorRTT, lv: geoLevels()[2], perDC: geoUniformRF(2, 2), mode: geoModeFixed},
+		geoCell{dcs: 2, rtt: geoAnchorRTT, lv: ConsistencySetting{Name: "adaptive", Read: kv.LocalQuorum}, perDC: geoUniformRF(2, 2), mode: geoModeAdaptive},
+	)
+	return cells
+}
+
+// GeoResult is one cell of the geo experiment.
+type GeoResult struct {
+	DCs   int
+	RTT   time.Duration
+	Level string // write consistency level (or "adaptive")
+	PerDC string // NetworkTopologyStrategy allocation, e.g. "2+2"
+	Mode  string // grid, fault, sla-fixed, or sla-adaptive
+
+	Throughput float64
+	ReadMean   time.Duration
+	ReadP99    time.Duration
+	WriteMean  time.Duration
+	WriteP99   time.Duration
+	Errors     int64
+
+	// Consistency is the oracle's report: what the level leaked.
+	Consistency consistency.Report
+
+	// Adaptive carries the controller's counters for the sla-adaptive
+	// cell (nil elsewhere); AdaptiveStage is its final rung name.
+	Adaptive      *geo.Metrics
+	AdaptiveStage string
+}
+
+// GeoResults collects the full geo grid.
+type GeoResults []GeoResult
+
+// RunGeo runs the geo-replication grid. Like every experiment, each cell
+// is a self-contained deterministic simulation fanned out across the
+// sweep scheduler, and the report is bit-identical for any Parallelism or
+// Shards value.
+func RunGeo(o Options) (GeoResults, error) {
+	cells := geoCells(o)
+	results, err := runCells(o.workers(), len(cells), func(i int) (GeoResult, error) {
+		c := cells[i]
+		res, err := runGeoCell(o, c)
+		if err != nil {
+			return res, fmt.Errorf("geo %ddc/%v/%s/%s: %w", c.dcs, c.rtt, c.lv.Name, c.mode, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// deployGeo provisions one multi-DC Cassandra cell: dcs blocks of
+// (geoServersPerDC+1) nodes — servers first, one client-attach machine
+// last — over a WANChain of the cell's RTT, replicated per the cell's
+// RF-per-DC allocation. Client threads round-robin across the per-DC
+// attach nodes (the ycsb runner calls the factory once per thread, in
+// thread order, so the assignment is deterministic). The sla-adaptive
+// cell wraps every thread's client in the adaptive ladder around one
+// shared controller.
+func deployGeo(o Options, c geoCell) (*deployment, *geo.Controller) {
+	spd := geoServersPerDC
+	ccfg := o.Cluster
+	ccfg.Nodes = c.dcs * (spd + 1)
+	sizes := make([]int, c.dcs)
+	for i := range sizes {
+		sizes[i] = spd + 1
+	}
+	ccfg.Geo = &cluster.GeoTopology{
+		DCSizes:   sizes,
+		WANOneWay: cluster.WANChain(c.dcs, c.rtt),
+		WANJitter: geoWANJitter,
+	}
+
+	var k *sim.Kernel
+	var group *sim.ShardGroup
+	if o.Shards > 1 {
+		plan := cluster.PlanShards(ccfg, o.Shards)
+		g := sim.NewShardGroup(o.Seed, o.Shards, plan.Lookahead)
+		k = g.Shard(0).Kernel()
+		group = g
+	} else {
+		k = sim.NewKernel(o.Seed)
+	}
+	clus := cluster.New(k, ccfg)
+
+	servers := make([]*cluster.Node, 0, c.dcs*spd)
+	attach := make([]*cluster.Node, 0, c.dcs)
+	for dc := 0; dc < c.dcs; dc++ {
+		base := dc * (spd + 1)
+		servers = append(servers, clus.Nodes[base:base+spd]...)
+		attach = append(attach, clus.Nodes[base+spd])
+	}
 
 	cfg := cassandra.DefaultConfig()
-	cfg.Replication = o.Replication
-	cfg.TopologyAware = true
-	cfg.ReadCL, cfg.WriteCL = lv.Read, lv.Write
+	cfg.DCReplicas = append([]int(nil), c.perDC...)
+	cfg.Engine = engineConfig(o)
+	cfg.Engine.SyncWAL = false // commitlog_sync: periodic
+	cfg.ReadRepairChance = o.ReadRepairChance
+	// Staleness is a reported column in every geo cell, so the replica
+	// MutationStage jitter is on, as in the consistency audit.
+	cfg.MutationStageMeanDelay = auditMutationStage
+	if c.mode != geoModeAdaptive {
+		cfg.ReadCL, cfg.WriteCL = c.lv.Read, c.lv.Write
+	}
 	db := cassandra.New(k, cfg, servers)
 
-	spec := ycsb.ReadUpdate(o.Records)
-	out := GeoResult{Level: lv.Name}
-	factory := func() kv.Client { return db.NewClient(clientNode) }
-
-	k.Spawn("driver", func(p *sim.Proc) {
-		w := ycsb.NewWorkload(spec)
-		ycsb.Load(p, factory, w, o.Threads, 0, spec.RecordCount)
-		p.Sleep(500 * time.Millisecond)
-		run := ycsb.NewWorkload(ycsb.ReadUpdate(w.Inserted()))
-		res := ycsb.Run(p, factory, run, ycsb.RunConfig{
-			Threads: o.Threads, Ops: o.OpsPerLevel, WarmupFraction: 0.1,
+	var ctrl *geo.Controller
+	var nextDC int
+	var newClient ycsb.ClientFactory
+	if c.mode == geoModeAdaptive {
+		ctrl = geo.NewController(geo.ControllerConfig{
+			Ladder:   geo.WriteLadder(kv.LocalQuorum),
+			Deadline: geoSLADeadline,
+			// Trust the estimate early so the step-down transient lands
+			// inside the warmup window at every profile scale, and hold
+			// the re-probe past the measured run so probe ops (paying
+			// the strong level's WAN price) cannot pollute the p99.
+			MinSamples: 10,
+			Cooldown:   30 * time.Second,
 		})
+		newClient = func() kv.Client {
+			base := db.NewClient(attach[nextDC%len(attach)])
+			nextDC++
+			return geo.NewClient(ctrl, func(s geo.Stage) kv.Client {
+				return base.WithConsistency(s.Read, s.Write)
+			})
+		}
+	} else {
+		newClient = func() kv.Client {
+			n := attach[nextDC%len(attach)]
+			nextDC++
+			return db.NewClient(n)
+		}
+	}
+
+	d := &deployment{
+		k:          k,
+		group:      group,
+		clus:       clus,
+		clientNode: attach[0],
+		newClient:  newClient,
+		flush:      db.FlushAll,
+		ca:         db,
+	}
+	return d, ctrl
+}
+
+// runGeoCell deploys one cell, loads, runs the read-update mixer
+// (optionally cutting and healing the DC 0–1 WAN link mid-run), lets
+// propagation settle, and snapshots the oracle and controller.
+func runGeoCell(o Options, c geoCell) (GeoResult, error) {
+	d, ctrl := deployGeo(o, c)
+	oracle := consistency.New()
+	d.ca.SetOracle(oracle)
+	out := GeoResult{
+		DCs: c.dcs, RTT: c.rtt, Level: c.lv.Name, PerDC: rfLabel(c.perDC), Mode: c.mode,
+	}
+	ops := geoOps(o)
+	err := d.drive(func(p *sim.Proc) {
+		spec := ycsb.ReadUpdate(o.StressRecords)
+		w := ycsb.NewWorkload(spec)
+		d.loadAndSettle(p, w, geoThreads(o))
+		rcfg := ycsb.RunConfig{
+			Threads:        geoThreads(o),
+			Ops:            ops,
+			WarmupFraction: o.WarmupFraction,
+			Oracle:         oracle,
+		}
+		if c.mode == geoModeFault {
+			// Cut the DC 0–1 WAN link a quarter into the run and heal it
+			// at the midpoint — by operation progress, so the outage
+			// lands inside the measured window at every profile scale.
+			rcfg.Events = []ycsb.RunEvent{
+				{AfterOps: ops / 4, Fn: func() { d.clus.PartitionZones(0, 1) }},
+				{AfterOps: ops / 2, Fn: func() { d.clus.HealZones(0, 1) }},
+			}
+		}
+		run := spec
+		run.RecordCount = w.Inserted()
+		res := ycsb.Run(p, d.newClient, ycsb.NewWorkload(run), rcfg)
+		out.Throughput = res.Throughput
 		out.ReadMean = res.PerOp[ycsb.OpRead].Mean()
-		out.ReadP95 = res.PerOp[ycsb.OpRead].Percentile(95)
+		out.ReadP99 = res.PerOp[ycsb.OpRead].Percentile(99)
 		out.WriteMean = res.PerOp[ycsb.OpUpdate].Mean()
-		out.WriteP95 = res.PerOp[ycsb.OpUpdate].Percentile(95)
+		out.WriteP99 = res.PerOp[ycsb.OpUpdate].Percentile(99)
 		out.Errors = res.Errors
+		settle := quiesce
+		if c.mode == geoModeFault {
+			settle = auditFaultSettle
+		}
+		p.Sleep(settle)
 	})
-	err := k.Run()
+	// Snapshot after the settle sleep so WAN propagation that completed
+	// post-run (async forwards, read repair) is reflected in the lag and
+	// visibility columns.
+	if oracle != nil {
+		out.Consistency = oracle.Report()
+	}
+	if ctrl != nil {
+		m := ctrl.Metrics()
+		out.Adaptive = &m
+		out.AdaptiveStage = ctrl.StageName()
+	}
 	return out, err
+}
+
+// find returns the first cell matching (mode, dcs, rtt, level, perDC), or
+// nil.
+func (r GeoResults) find(mode string, dcs int, rtt time.Duration, level, perDC string) *GeoResult {
+	for i := range r {
+		m := &r[i]
+		if m.Mode == mode && m.DCs == dcs && m.RTT == rtt && m.Level == level && m.PerDC == perDC {
+			return m
+		}
+	}
+	return nil
+}
+
+// Table renders the geo grid as one row per cell: the latency profile,
+// availability, the oracle's staleness verdict, and the adaptive
+// controller's counters where they apply.
+func (r GeoResults) Table() *stats.Table {
+	t := stats.NewTable("Geo-replication — multi-DC latency, availability, and staleness by write consistency level",
+		"dcs", "rtt", "write-cl", "rf-per-dc", "mode",
+		"ops/sec", "read-mean", "read-p99", "write-mean", "write-p99",
+		"errors", "reads", "stale-%",
+		"final-stage", "stage-ops", "step-downs", "sla-misses")
+	for _, m := range r {
+		stage, stageOps, downs, misses := "-", "-", "-", "-"
+		if m.Adaptive != nil {
+			stage = m.AdaptiveStage
+			parts := make([]string, len(m.Adaptive.OpsPerStage))
+			for i, n := range m.Adaptive.OpsPerStage {
+				parts[i] = fmt.Sprintf("%d", n)
+			}
+			stageOps = strings.Join(parts, "/")
+			downs = fmt.Sprintf("%d", m.Adaptive.StepDowns)
+			misses = fmt.Sprintf("%d", m.Adaptive.Misses)
+		}
+		t.AddRow(m.DCs, m.RTT.String(), m.Level, m.PerDC, m.Mode,
+			m.Throughput,
+			m.ReadMean.Round(time.Microsecond).String(),
+			m.ReadP99.Round(time.Microsecond).String(),
+			m.WriteMean.Round(time.Microsecond).String(),
+			m.WriteP99.Round(time.Microsecond).String(),
+			m.Errors, m.Consistency.Reads,
+			fmt.Sprintf("%.3f", 100*m.Consistency.StaleFraction()),
+			stage, stageOps, downs, misses)
+	}
+	return t
+}
+
+// CheckGeo evaluates the geo experiment's qualitative claims.
+func CheckGeo(o Options, r GeoResults) []Finding {
+	var fs []Finding
+	rtts := geoRTTs()
+	anchor := rfLabel(geoUniformRF(2, 2))
+
+	// FG1: EACH_QUORUM write latency grows with the WAN RTT (the slowest
+	// round trip is on the write path) while LOCAL_QUORUM stays flat (all
+	// WAN traffic is asynchronous).
+	var eqMeans, lqMeans []time.Duration
+	for _, rtt := range rtts {
+		if m := r.find(geoModeGrid, 2, rtt, "EACH_QUORUM", anchor); m != nil {
+			eqMeans = append(eqMeans, m.WriteMean)
+		}
+		if m := r.find(geoModeGrid, 2, rtt, "LOCAL_QUORUM", anchor); m != nil {
+			lqMeans = append(lqMeans, m.WriteMean)
+		}
+	}
+	eqGrowth := 0.0
+	if len(eqMeans) >= 2 {
+		eqGrowth = ratio(float64(eqMeans[len(eqMeans)-1]), float64(eqMeans[0]))
+	}
+	lqFlat := flatness(lqMeans)
+	fs = append(fs, Finding{
+		ID:    "FG1",
+		Claim: "EACH_QUORUM write latency grows with WAN RTT; LOCAL_QUORUM stays flat",
+		Pass:  len(eqMeans) == len(rtts) && len(lqMeans) == len(rtts) && eqGrowth > 2.0 && lqFlat < 1.5,
+		Detail: fmt.Sprintf("EACH_QUORUM mean %v→%v (x%.1f, threshold 2.0); LOCAL_QUORUM max/min=%.2f (threshold 1.5)",
+			first(eqMeans), last(eqMeans), eqGrowth, lqFlat),
+	})
+
+	// FG2: the staleness each write level leaks orders inversely to its
+	// strength — EACH_QUORUM's per-DC majorities intersect every
+	// LOCAL_QUORUM read set (zero stale), LOCAL_QUORUM leaks stale reads
+	// in remote DCs until the async forward lands, and ONE adds a
+	// coordinator-DC window on top.
+	one := r.find(geoModeGrid, 2, geoAnchorRTT, "ONE", anchor)
+	lq := r.find(geoModeGrid, 2, geoAnchorRTT, "LOCAL_QUORUM", anchor)
+	eq := r.find(geoModeGrid, 2, geoAnchorRTT, "EACH_QUORUM", anchor)
+	if one != nil && lq != nil && eq != nil {
+		oneS, lqS, eqS := one.Consistency.StaleFraction(), lq.Consistency.StaleFraction(), eq.Consistency.StaleFraction()
+		fs = append(fs, Finding{
+			ID:    "FG2",
+			Claim: "staleness rises as the write level steps down: EACH_QUORUM=0 < LOCAL_QUORUM ≤ ONE",
+			Pass:  eqS == 0 && lqS > 0 && oneS >= lqS,
+			Detail: fmt.Sprintf("stale%%: EACH_QUORUM=%.3f LOCAL_QUORUM=%.3f ONE=%.3f (2dc/80ms)",
+				100*eqS, 100*lqS, 100*oneS),
+		})
+	}
+
+	// FG3: the adaptive client keeps write p99 under the SLA deadline
+	// where fixed EACH_QUORUM misses it — at a quantified staleness cost.
+	fixed := r.find(geoModeFixed, 2, geoAnchorRTT, "EACH_QUORUM", anchor)
+	adaptive := r.find(geoModeAdaptive, 2, geoAnchorRTT, "adaptive", anchor)
+	if fixed != nil && adaptive != nil {
+		pass := fixed.WriteP99 > geoSLADeadline && adaptive.WriteP99 <= geoSLADeadline &&
+			adaptive.Adaptive != nil && adaptive.Adaptive.StepDowns >= 1 && adaptive.Adaptive.OpsPerStage[0] > 0
+		detail := fmt.Sprintf("write-p99: fixed=%v adaptive=%v (deadline %v); stale%%: fixed=%.3f adaptive=%.3f",
+			fixed.WriteP99.Round(time.Microsecond), adaptive.WriteP99.Round(time.Microsecond), geoSLADeadline,
+			100*fixed.Consistency.StaleFraction(), 100*adaptive.Consistency.StaleFraction())
+		if adaptive.Adaptive != nil {
+			detail += fmt.Sprintf("; step-downs=%d final=%s", adaptive.Adaptive.StepDowns, adaptive.AdaptiveStage)
+		}
+		fs = append(fs, Finding{
+			ID:     "FG3",
+			Claim:  "adaptive client meets the 40ms write SLA that fixed EACH_QUORUM misses, trading staleness",
+			Pass:   pass,
+			Detail: detail,
+		})
+	}
+
+	// FG4: under a DC partition, LOCAL_QUORUM stays available while
+	// EACH_QUORUM fails writes until the link heals.
+	eqF := r.find(geoModeFault, 2, geoAnchorRTT, "EACH_QUORUM", anchor)
+	lqF := r.find(geoModeFault, 2, geoAnchorRTT, "LOCAL_QUORUM", anchor)
+	if eqF != nil && lqF != nil {
+		fs = append(fs, Finding{
+			ID:    "FG4",
+			Claim: "DC partition: LOCAL_QUORUM stays available, EACH_QUORUM writes fail until heal",
+			Pass:  eqF.Errors > 0 && lqF.Errors == 0,
+			Detail: fmt.Sprintf("errors during partitioned run: EACH_QUORUM=%d LOCAL_QUORUM=%d (of %d ops)",
+				eqF.Errors, lqF.Errors, geoOps(o)),
+		})
+	}
+	return fs
+}
+
+// first and last guard empty latency series in finding details.
+func first(v []time.Duration) time.Duration {
+	if len(v) == 0 {
+		return 0
+	}
+	return v[0]
+}
+
+func last(v []time.Duration) time.Duration {
+	if len(v) == 0 {
+		return 0
+	}
+	return v[len(v)-1]
 }

@@ -1,0 +1,69 @@
+package geo
+
+import (
+	"testing"
+	"time"
+
+	"cloudbench/internal/cassandra"
+	"cloudbench/internal/cluster"
+	"cloudbench/internal/kv"
+	"cloudbench/internal/sim"
+)
+
+// TestAdaptiveClientStepsDownUnderWAN drives the adaptive client against a
+// real 2-DC Cassandra deployment whose 80ms WAN RTT makes EACH_QUORUM
+// writes unaffordable under a 40ms deadline: the controller must step down
+// and the post-transient write latency must fall under the deadline, while
+// the earliest writes paid the strong level's price.
+func TestAdaptiveClientStepsDownUnderWAN(t *testing.T) {
+	k := sim.NewKernel(21)
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = 8
+	ccfg.Geo = &cluster.GeoTopology{
+		DCSizes:   []int{4, 4},
+		WANOneWay: cluster.WANChain(2, 80*time.Millisecond),
+	}
+	c := cluster.New(k, ccfg)
+	dcfg := cassandra.DefaultConfig()
+	dcfg.DCReplicas = []int{2, 2}
+	db := cassandra.New(k, dcfg, c.Nodes[:7])
+	base := db.NewClient(c.Nodes[7]) // attach in DC 1; coordinators stay local
+
+	ctrl := NewController(ControllerConfig{
+		Ladder:     WriteLadder(kv.LocalQuorum),
+		Deadline:   40 * time.Millisecond,
+		MinSamples: 10,
+	})
+	ad := NewClient(ctrl, func(s Stage) kv.Client {
+		return base.WithConsistency(s.Read, s.Write)
+	})
+
+	const ops = 100
+	var tail time.Duration
+	k.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < ops; i++ {
+			start := p.Now()
+			if err := ad.Insert(p, kv.Key("user"+string(rune('a'+i%26)))+kv.Key(rune('0'+i/26)), kv.Record{"v": kv.SizedValue(64)}); err != nil {
+				t.Errorf("op %d: %v", i, err)
+				return
+			}
+			if i >= ops/2 {
+				tail += p.Now().Sub(start)
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := ctrl.Metrics()
+	if m.Stage == 0 {
+		t.Fatalf("controller never stepped down: %+v", m)
+	}
+	if m.OpsPerStage[0] == 0 {
+		t.Fatal("no operations ran at the strong rung before the step-down")
+	}
+	mean := tail / (ops / 2)
+	if mean > 40*time.Millisecond {
+		t.Fatalf("post-transient mean write latency %v exceeds the 40ms deadline", mean)
+	}
+}

@@ -112,7 +112,10 @@ type ConsistencyLevel int
 // majority of the replication factor; All is every replica. LocalQuorum
 // is a majority of the replicas in the coordinator's zone (data center) —
 // the level multi-datacenter deployments use to avoid wide-area waits; on
-// a single-zone cluster it degenerates to Quorum.
+// a single-zone cluster it degenerates to Quorum. EachQuorum demands a
+// majority of the replicas in *every* data center, the strongest
+// cross-DC level Cassandra offers short of ALL; it too degenerates to
+// Quorum on a single zone.
 const (
 	One ConsistencyLevel = iota + 1
 	Two
@@ -120,6 +123,7 @@ const (
 	Quorum
 	All
 	LocalQuorum
+	EachQuorum
 )
 
 // String returns the Cassandra-style name of the level.
@@ -137,6 +141,8 @@ func (c ConsistencyLevel) String() string {
 		return "ALL"
 	case LocalQuorum:
 		return "LOCAL_QUORUM"
+	case EachQuorum:
+		return "EACH_QUORUM"
 	default:
 		return fmt.Sprintf("ConsistencyLevel(%d)", int(c))
 	}
@@ -153,9 +159,10 @@ func (c ConsistencyLevel) Required(rf int) int {
 		n = 2
 	case Three:
 		n = 3
-	case Quorum, LocalQuorum:
-		// LocalQuorum without topology context (the caller restricts the
-		// replica set to the local zone first) is a plain majority.
+	case Quorum, LocalQuorum, EachQuorum:
+		// LocalQuorum and EachQuorum without topology context (the caller
+		// applies the per-DC math against the zoned replica sets first)
+		// are a plain majority.
 		n = rf/2 + 1
 	case All:
 		n = rf

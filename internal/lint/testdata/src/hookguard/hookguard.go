@@ -169,6 +169,41 @@ func (s *Server) bracketedIntervalUnguarded(now int) {
 	s.tracer.Interval(now) // want `nullable hook s\.tracer`
 }
 
+func (s *Server) dcHopEmit(now int) {
+	// The multi-DC forward leg: the WAN hop and the intra-DC relay each
+	// capture a start and emit a span, and every bracket carries its own
+	// nil gate.
+	var t0 int
+	if s.tracer != nil {
+		t0 = now
+	}
+	_ = work() // WAN leg
+	if s.tracer != nil {
+		s.tracer.Phase(t0)
+	}
+	var r0 int
+	if s.tracer != nil {
+		r0 = now
+	}
+	_ = work() // relay leg
+	if s.tracer != nil {
+		s.tracer.Phase(r0)
+	}
+}
+
+func (s *Server) dcHopEmitUnguarded(now int) {
+	var t0 int
+	if s.tracer != nil {
+		t0 = now
+	}
+	_ = work()
+	if s.tracer != nil {
+		s.tracer.Phase(t0)
+	}
+	_ = work()
+	s.tracer.Phase(t0) // want `nullable hook s\.tracer`
+}
+
 func (s *Server) deferredEmit(now int) {
 	if tr := s.tracer; tr != nil {
 		t0 := now

@@ -68,6 +68,21 @@ func simSourceFromWallClock() *sim.Source {
 	return sim.NewSource(uint64(time.Now().UnixNano())) // want `sim\.NewSource seed is not derived from the experiment seed`
 }
 
+// wanLinkStream mirrors the cluster's per-WAN-link jitter streams: each
+// directed DC pair owns a source whose seed is mixed from the kernel seed
+// and the link endpoints, so provenance traces back to the experiment seed.
+func wanLinkStream(kernelSeed uint64, src, dst int) *sim.Source {
+	linkSeed := kernelSeed ^ (uint64(src)<<32 | uint64(dst)<<1)
+	return sim.NewSource(linkSeed) // ok: mixed from the kernel seed
+}
+
+// wanLinkStreamFromEndpoints derives the stream only from the link's
+// endpoints — reproducible per link but detached from the experiment
+// seed, so every run would draw identical jitter regardless of -seed.
+func wanLinkStreamFromEndpoints(src, dst int) *sim.Source {
+	return sim.NewSource(uint64(src)<<32 | uint64(dst)) // want `sim\.NewSource seed is not derived from the experiment seed`
+}
+
 func reseedFromConstant(p *procLike) {
 	p.src.Reseed(1234) // want `Source\.Reseed seed is not derived from the experiment seed`
 }

@@ -95,13 +95,18 @@ const (
 	// replicator exchanging per-partition version digests with a peer and
 	// pushing the versions the peer misses.
 	PhaseAntiEntropy
+	// PhaseWAN is one cross-datacenter network leg: a mutation forward,
+	// ack, or read RPC crossing a WAN link. Splitting DC hops out of the
+	// generic fanout phase is what lets tracebreak attribute cross-DC
+	// latency mechanically; single-DC experiments record zero wan spans.
+	PhaseWAN
 	NumPhases int = iota
 )
 
 var phaseNames = [NumPhases]string{
 	"coord-queue", "coord", "fanout", "wal", "storage",
 	"digest", "read-repair", "hint-replay", "hdfs",
-	"async-job", "anti-entropy",
+	"async-job", "anti-entropy", "wan",
 }
 
 func (ph Phase) String() string {
