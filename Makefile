@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-shard bench bench-kernel bench-shard bench-spectrum bench-geo lint lint-report vet trace
+.PHONY: all build test race race-shard bench bench-kernel bench-shard bench-scale bench-spectrum bench-geo lint lint-report vet trace
 
 all: build lint test
 
@@ -43,6 +43,17 @@ bench-shard:
 	$(GO) test -bench=ShardScale -benchmem -benchtime=3x -run='^$$' -timeout 30m . \
 		| $(GO) run ./cmd/benchjson -o BENCH_shard.json
 	@cat BENCH_shard.json
+
+# Deployment-scale scaling curve: the 512-node, million-session megascale
+# deployment at 1/2/4/8 shards, archived with the host's GOMAXPROCS and
+# CPU count (benchjson records both — the curve is uninterpretable
+# without them). Expect minutes of wall clock; needs ≥8 host cores to
+# show the 8-shard speedup. SCALE_ARGS adds e.g. -short for the CI smoke.
+SCALE_ARGS ?=
+bench-scale:
+	$(GO) test -bench='^BenchmarkMegaScale$$' -benchmem -benchtime=1x -run='^$$' $(SCALE_ARGS) -timeout 60m . \
+		| $(GO) run ./cmd/benchjson -o BENCH_scale.json
+	@cat BENCH_scale.json
 
 # Replication-spectrum headline artifact: the three-backend grid at smoke
 # scale with the async object store's stale-% and t-visibility p99 as

@@ -461,6 +461,41 @@ func BenchmarkShardScale(b *testing.B) {
 	}
 }
 
+// BenchmarkMegaScale measures deployment-scale scaling on the sharded
+// kernel: the 512-node, RF-3, million-session megascale Cassandra
+// deployment (DESIGN §14) split into 1, 2, 4, and 8 segments, each on its
+// own member kernel with WAN-chain delivery floors between them. Total
+// nodes, sessions, and ops are fixed, so wall-clock ns/op across the
+// sub-benchmarks is the engine's scaling curve at deployment scale —
+// `make bench-scale` records it (together with GOMAXPROCS and CPU count,
+// which the curve is meaningless without) in BENCH_scale.json. -short
+// swaps in the smoke cell so CI can prove the path cheaply.
+func BenchmarkMegaScale(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		b.Run("shards="+itoa(shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := core.DefaultMegaScaleOptions()
+				if testing.Short() {
+					o = core.MegaSmokeOptions()
+				}
+				o.Shards = shards
+				o.Seed = int64(i + 1)
+				res, err := core.RunMegaScale(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Errors != 0 {
+					b.Fatalf("%d errors", res.Errors)
+				}
+				b.ReportMetric(float64(res.Sessions), "sessions")
+				b.ReportMetric(res.Throughput, "simops/s")
+				b.ReportMetric(float64(res.Windows), "windows")
+			}
+		})
+	}
+}
+
 // BenchmarkKernelSleep measures the kernel's Sleep/dispatch hot path in
 // isolation — the per-event cost under every simulated client thread and
 // server stage. allocs/op must stay ~0: the event free list and the

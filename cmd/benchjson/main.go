@@ -4,20 +4,29 @@
 //	go test -bench='Kernel|Spawn|Queue' -benchmem ./internal/sim | \
 //	    go run ./cmd/benchjson -o BENCH_kernel.json
 //
-// The output maps each benchmark name (with the -N GOMAXPROCS suffix
-// stripped) to its metrics:
+// The output records the host environment — without GOMAXPROCS and the
+// CPU count a scaling artifact is uninterpretable (a 1-core runner's
+// "shards=8 is slower" reads as a regression when it is the expected
+// serialization) — and maps each benchmark name to its metrics, keeping
+// the -N GOMAXPROCS suffix as a field rather than in the key so artifacts
+// compare across machines:
 //
 //	{
-//	  "BenchmarkKernelScheduleWheel100k": {
-//	    "iterations": 120, "ns_op": 412345.0, "b_op": 0, "allocs_op": 0
-//	  },
-//	  ...
+//	  "env": {"gomaxprocs": 8, "num_cpu": 8, "git_sha": "58cdaf2..."},
+//	  "benchmarks": {
+//	    "BenchmarkKernelScheduleWheel100k": {
+//	      "iterations": 120, "ns_op": 412345.0, "b_op": 0, "allocs_op": 0,
+//	      "gomaxprocs": 8
+//	    },
+//	    ...
+//	  }
 //	}
 //
-// b_op and allocs_op are -1 when the run did not use -benchmem. Lines that
-// are not benchmark results (test output, PASS, ok) are ignored, so the raw
-// `go test` stream can be piped in unfiltered. A benchmark that appears
-// more than once (e.g. -count>1) keeps the last result.
+// b_op and allocs_op are -1 when the run did not use -benchmem; a missing
+// -N suffix (go test omits it at GOMAXPROCS=1) records gomaxprocs 1. Lines
+// that are not benchmark results (test output, PASS, ok) are ignored, so
+// the raw `go test` stream can be piped in unfiltered. A benchmark that
+// appears more than once (e.g. -count>1) keeps the last result.
 package main
 
 import (
@@ -27,7 +36,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -38,13 +49,30 @@ type Result struct {
 	NsOp       float64 `json:"ns_op"`
 	BOp        int64   `json:"b_op"`
 	AllocsOp   int64   `json:"allocs_op"`
+	// GoMaxProcs is the -N suffix go test appended to the benchmark name:
+	// the GOMAXPROCS the benchmark actually ran at.
+	GoMaxProcs int `json:"gomaxprocs"`
+}
+
+// Env describes the host the benchmarks ran on.
+type Env struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GitSHA     string `json:"git_sha"`
+}
+
+// Artifact is the full archived document.
+type Artifact struct {
+	Env        Env               `json:"env"`
+	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
 
 // Parse reads `go test -bench` output and returns name → result. The
-// GOMAXPROCS suffix (Benchmark...-8) is stripped so artifacts compare
-// across machines with different core counts.
+// GOMAXPROCS suffix (Benchmark...-8) moves off the key into the result's
+// gomaxprocs field so artifacts compare across machines with different
+// core counts.
 func Parse(r io.Reader) (map[string]Result, error) {
 	out := make(map[string]Result)
 	sc := bufio.NewScanner(r)
@@ -55,9 +83,11 @@ func Parse(r io.Reader) (map[string]Result, error) {
 			continue
 		}
 		name := m[1]
+		procs := 1 // go test appends no suffix at GOMAXPROCS=1
 		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			if n, err := strconv.Atoi(name[i+1:]); err == nil {
 				name = name[:i]
+				procs = n
 			}
 		}
 		iters, err := strconv.ParseInt(m[2], 10, 64)
@@ -68,7 +98,7 @@ func Parse(r io.Reader) (map[string]Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %v", sc.Text(), err)
 		}
-		res := Result{Iterations: iters, NsOp: ns, BOp: -1, AllocsOp: -1}
+		res := Result{Iterations: iters, NsOp: ns, BOp: -1, AllocsOp: -1, GoMaxProcs: procs}
 		// -benchmem appends "N B/op  M allocs/op": values precede units.
 		fields := strings.Fields(m[4])
 		for i := 0; i+1 < len(fields); i++ {
@@ -88,7 +118,21 @@ func Parse(r io.Reader) (map[string]Result, error) {
 	return out, sc.Err()
 }
 
-func run(in io.Reader, out io.Writer) error {
+// gitSHA resolves the commit the artifact describes: $BENCHJSON_GIT_SHA
+// when set (CI passes the exact checkout), otherwise `git rev-parse HEAD`,
+// otherwise "unknown" (e.g. running from an exported tarball).
+func gitSHA() string {
+	if sha := os.Getenv("BENCHJSON_GIT_SHA"); sha != "" {
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func run(in io.Reader, out io.Writer, env Env) error {
 	results, err := Parse(in)
 	if err != nil {
 		return err
@@ -98,7 +142,7 @@ func run(in io.Reader, out io.Writer) error {
 	}
 	// encoding/json sorts map keys, so the artifact diffs cleanly run to
 	// run; the trailing newline keeps it POSIX-text.
-	b, err := json.MarshalIndent(results, "", "  ")
+	b, err := json.MarshalIndent(Artifact{Env: env, Benchmarks: results}, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -120,7 +164,8 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := run(os.Stdin, w); err != nil {
+	env := Env{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), GitSHA: gitSHA()}
+	if err := run(os.Stdin, w, env); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -26,10 +26,10 @@ func TestParse(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := map[string]Result{
-		"BenchmarkKernelSleep":             {Iterations: 2742, NsOp: 439881, BOp: 0, AllocsOp: 0},
-		"BenchmarkKernelScheduleWheel100k": {Iterations: 100, NsOp: 412345.5, BOp: 3, AllocsOp: 0},
-		"BenchmarkSpawnChurn":              {Iterations: 5000, NsOp: 222746, BOp: 1, AllocsOp: 0},
-		"BenchmarkNoMem":                   {Iterations: 100000, NsOp: 1234, BOp: -1, AllocsOp: -1},
+		"BenchmarkKernelSleep":             {Iterations: 2742, NsOp: 439881, BOp: 0, AllocsOp: 0, GoMaxProcs: 8},
+		"BenchmarkKernelScheduleWheel100k": {Iterations: 100, NsOp: 412345.5, BOp: 3, AllocsOp: 0, GoMaxProcs: 8},
+		"BenchmarkSpawnChurn":              {Iterations: 5000, NsOp: 222746, BOp: 1, AllocsOp: 0, GoMaxProcs: 8},
+		"BenchmarkNoMem":                   {Iterations: 100000, NsOp: 1234, BOp: -1, AllocsOp: -1, GoMaxProcs: 8},
 	}
 	if len(got) != len(want) {
 		t.Fatalf("parsed %d results, want %d: %v", len(got), len(want), got)
@@ -47,8 +47,29 @@ func TestParseStripsGOMAXPROCSSuffixOnly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := got["BenchmarkKernelScheduleWheel1k"]; !ok {
+	r, ok := got["BenchmarkKernelScheduleWheel1k"]
+	if !ok {
 		t.Fatalf("suffix not stripped: %v", got)
+	}
+	if r.GoMaxProcs != 16 {
+		t.Fatalf("gomaxprocs = %d, want 16", r.GoMaxProcs)
+	}
+}
+
+func TestParseNoSuffixMeansOneProc(t *testing.T) {
+	// go test appends no -N suffix at GOMAXPROCS=1 (how a 1-core CI runner
+	// emits results); the entry must still record the proc count.
+	in := "BenchmarkMegaScale/shards=8 	 1 	 2000000000 ns/op\n"
+	got, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got["BenchmarkMegaScale/shards=8"]
+	if !ok {
+		t.Fatalf("missing entry (sub-benchmark value mistaken for a suffix?): %v", got)
+	}
+	if r.GoMaxProcs != 1 {
+		t.Fatalf("gomaxprocs = %d, want 1", r.GoMaxProcs)
 	}
 }
 
@@ -64,22 +85,26 @@ func TestParseSubBenchmarkNames(t *testing.T) {
 	if !ok {
 		t.Fatalf("missing sub-benchmark key: %v", got)
 	}
-	if r.NsOp != 99.5 || r.AllocsOp != 0 {
+	if r.NsOp != 99.5 || r.AllocsOp != 0 || r.GoMaxProcs != 8 {
 		t.Fatalf("r = %+v", r)
 	}
 }
 
 func TestRunEmitsSortedJSON(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader(sample), &out); err != nil {
+	env := Env{GoMaxProcs: 8, NumCPU: 8, GitSHA: "abc123"}
+	if err := run(strings.NewReader(sample), &out, env); err != nil {
 		t.Fatal(err)
 	}
-	var decoded map[string]Result
+	var decoded Artifact
 	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
 		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
 	}
-	if len(decoded) != 4 {
-		t.Fatalf("decoded %d entries, want 4", len(decoded))
+	if decoded.Env != env {
+		t.Fatalf("env round-trip: %+v, want %+v", decoded.Env, env)
+	}
+	if len(decoded.Benchmarks) != 4 {
+		t.Fatalf("decoded %d entries, want 4", len(decoded.Benchmarks))
 	}
 	if !strings.HasSuffix(out.String(), "\n") {
 		t.Fatal("artifact must end with a newline")
@@ -95,7 +120,7 @@ func TestRunEmitsSortedJSON(t *testing.T) {
 
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader("PASS\nok x 1s\n"), &out); err == nil {
+	if err := run(strings.NewReader("PASS\nok x 1s\n"), &out, Env{}); err == nil {
 		t.Fatal("expected error on input with no benchmark lines")
 	}
 }

@@ -133,6 +133,35 @@ func TestShardedSweepBitIdentical(t *testing.T) {
 	}
 }
 
+// TestPinnedWorkersMatchSpawnPerWindow is the engine-swap differential
+// gate at the experiment level: on 4-shard groups, the pinned-worker
+// barrier must produce reports byte-identical to the legacy
+// goroutine-per-window executor (CLOUDBENCH_SPAWN_WINDOWS=1), and the
+// pinned engine must be worker-count-independent — for the fig1, audit,
+// and geo sweeps. Adaptive windows are on throughout (the default), so
+// the widened barriers are on trial too.
+func TestPinnedWorkersMatchSpawnPerWindow(t *testing.T) {
+	for _, experiment := range []string{"fig1", "audit", "geo"} {
+		t.Run(experiment, func(t *testing.T) {
+			base := []string{"-experiment", experiment, "-profile", "smoke", "-csv", "-seed", "42", "-shards", "4"}
+			if experiment != "geo" {
+				base = append(base, "-rf", "1,3")
+			}
+			t.Setenv("CLOUDBENCH_SPAWN_WINDOWS", "")
+			pinned := capture(t, append(base, "-shard-workers", "4")...)
+			oneWorker := capture(t, append(base, "-shard-workers", "1")...)
+			if pinned != oneWorker {
+				t.Errorf("pinned engine differs across worker counts:\n%s", firstDiff(pinned, oneWorker))
+			}
+			t.Setenv("CLOUDBENCH_SPAWN_WINDOWS", "1")
+			spawn := capture(t, append(base, "-shard-workers", "4")...)
+			if pinned != spawn {
+				t.Errorf("pinned and spawn-per-window engines differ:\n%s", firstDiff(pinned, spawn))
+			}
+		})
+	}
+}
+
 // TestShardedTraceSpansBitIdentical extends the sharded gate to the raw
 // span stream: IDs, timestamps, and phase boundaries must survive the
 // window engine untouched.

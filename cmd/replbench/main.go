@@ -49,6 +49,7 @@ type runContext struct {
 	rfFlag   string // raw -rf value: some experiments re-default when unset
 	traceOut string
 	seed     int64
+	profile  string // resolved -profile name; megascale sizes its cell by it
 }
 
 // render prints a table in the format -csv selected, followed by a blank
@@ -86,6 +87,7 @@ func experiments() []experiment {
 		{"geo", runGeo},
 		{"failover", runFailover},
 		{"sla", runSLA},
+		{"megascale", runMegaScale},
 	}
 }
 
@@ -115,6 +117,7 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	parallel := fs.Int("parallel", 0, "sweep cells run concurrently (0 = one per CPU); results are bit-identical for every value")
 	shards := fs.Int("shards", 0, "kernel execution shards per simulation cell (0/1 = sequential kernel); results are bit-identical for every value")
+	shardWorkers := fs.Int("shard-workers", 0, "pinned worker goroutines per sharded group (0 = one per CPU); results are bit-identical for every value")
 	rfList := fs.String("rf", "", "comma-separated replication factors (default 1-6)")
 	noReadRepair := fs.Bool("no-read-repair", false, "disable Cassandra read repair (ablation A1 inline)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -162,6 +165,12 @@ func run(args []string, stdout io.Writer) error {
 	if *shards > 0 {
 		o.Shards = *shards
 	}
+	if *shardWorkers < 0 {
+		return fmt.Errorf("bad -shard-workers %d", *shardWorkers)
+	}
+	if *shardWorkers > 0 {
+		o.ShardWorkers = *shardWorkers
+	}
 	if *rfList != "" {
 		var rfs []int
 		for _, part := range strings.Split(*rfList, ",") {
@@ -197,6 +206,7 @@ func run(args []string, stdout io.Writer) error {
 		rfFlag:   *rfList,
 		traceOut: *traceOut,
 		seed:     *seed,
+		profile:  *profile,
 	}
 
 	for _, e := range registry {
@@ -374,6 +384,41 @@ func runFailover(ctx *runContext) error {
 	}
 	ctx.render(res.ThroughputFigure().Table())
 	ctx.render(res.Figure().Table())
+	return nil
+}
+
+// runMegaScale drives the partitioned deployment (DESIGN §14). The cell
+// scales with -profile: smoke is the small CI cell, quick a mid-size cell
+// that keeps `-experiment all` tolerable, paper the full 512-node
+// million-session deployment. -shards and -shard-workers carry over, with
+// the shard count clamped to at least 2 so the partitioned engine
+// actually runs (a megascale deployment on one member kernel is just a
+// very slow sequential simulation).
+func runMegaScale(ctx *runContext) error {
+	var mo core.MegaScaleOptions
+	switch ctx.profile {
+	case "smoke":
+		mo = core.MegaSmokeOptions()
+	case "paper":
+		mo = core.DefaultMegaScaleOptions()
+	default: // quick
+		mo = core.DefaultMegaScaleOptions()
+		mo.Nodes = 64
+		mo.Sessions = 20_000
+		mo.LiveSessions = 256
+	}
+	mo.Seed = ctx.seed
+	mo.Workers = ctx.o.ShardWorkers
+	mo.Shards = ctx.o.Shards
+	if mo.Shards < 2 {
+		mo.Shards = 2
+	}
+	res, err := core.RunMegaScale(mo)
+	if err != nil {
+		return err
+	}
+	ctx.render(res.Table())
+	fmt.Fprintf(ctx.w, "megascale: %d shards, %d conservative windows\n\n", res.Shards, res.Windows)
 	return nil
 }
 

@@ -10,6 +10,16 @@ type ShardPlan struct {
 	Shards    int
 	Lookahead time.Duration // min one-way cross-shard network latency
 	NodeShard []int         // NodeShard[i] is the execution shard of node i
+
+	// PairLookahead[a][b] is the minimum one-way latency from any node on
+	// shard a to any node on shard b — the delivery floor for that directed
+	// pair, and the matrix sim.ShardGroup.SetPairLookahead consumes for
+	// adaptive window widening. Diagonal entries are zero. On a geo
+	// topology where shard boundaries align with DC boundaries the
+	// off-diagonal entries are the per-DC-pair WAN floors, so far-apart
+	// shards get windows far wider than the global minimum. Nil when
+	// Shards == 1.
+	PairLookahead [][]time.Duration
 }
 
 // PlanShards partitions a cfg.Nodes-node topology into the given number of
@@ -48,18 +58,40 @@ func PlanShards(cfg Config, shards int) ShardPlan {
 	if shards == 1 {
 		return p // no cross-shard edges; lookahead is unused
 	}
-	// Minimum one-way latency over all cross-shard node pairs. Quadratic in
-	// node count, but it runs once per deployment on at most a few hundred
-	// nodes.
+	// Minimum one-way latency over all cross-shard node pairs, globally and
+	// per shard pair. Quadratic in node count, but it runs once per
+	// deployment on at most a few hundred nodes.
+	p.PairLookahead = make([][]time.Duration, shards)
+	for a := range p.PairLookahead {
+		p.PairLookahead[a] = make([]time.Duration, shards)
+	}
 	min := time.Duration(0)
 	for i := 0; i < cfg.Nodes; i++ {
 		for j := i + 1; j < cfg.Nodes; j++ {
-			if p.NodeShard[i] == p.NodeShard[j] {
+			a, b := p.NodeShard[i], p.NodeShard[j]
+			if a == b {
 				continue
 			}
 			oneWay := cfg.minOneWay(i, j)
 			if min == 0 || oneWay < min {
 				min = oneWay
+			}
+			// minOneWay is symmetric in (i, j), so the floor holds for
+			// both directions of the shard pair.
+			if cur := p.PairLookahead[a][b]; cur == 0 || oneWay < cur {
+				p.PairLookahead[a][b] = oneWay
+				p.PairLookahead[b][a] = oneWay
+			}
+		}
+	}
+	// A shard pair with no node pairs crossing it cannot occur with the
+	// contiguous split (every shard is non-empty), but guard anyway: an
+	// empty floor would mean "no constraint", which the group API reads as
+	// "at least the global lookahead".
+	for a := 0; a < shards; a++ {
+		for b := 0; b < shards; b++ {
+			if a != b && p.PairLookahead[a][b] == 0 {
+				p.PairLookahead[a][b] = min
 			}
 		}
 	}

@@ -42,6 +42,51 @@ func TestPlanShardsZoneAligned(t *testing.T) {
 	}
 }
 
+// TestPlanShardsPairLookahead: on a 3-DC WAN chain with one shard per DC,
+// the per-pair floors must reflect per-pair distance — adjacent DCs get
+// the one-hop floor, the end-to-end pair gets twice that — while the
+// global Lookahead stays the overall minimum. This is the matrix adaptive
+// window widening feeds on: the 0↔2 pair's windows can be twice as wide
+// as the global lookahead alone would allow.
+func TestPlanShardsPairLookahead(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 9
+	cfg.Geo = &GeoTopology{
+		DCSizes:   []int{3, 3, 3},
+		WANOneWay: WANChain(3, 80*time.Millisecond),
+	}
+	p := PlanShards(cfg, 3)
+	oneHop := 32 * time.Millisecond // cheaper direction of an 80ms-RTT hop
+	if p.Lookahead != oneHop {
+		t.Fatalf("lookahead = %v, want %v", p.Lookahead, oneHop)
+	}
+	want := [][]time.Duration{
+		{0, oneHop, 2 * oneHop},
+		{oneHop, 0, oneHop},
+		{2 * oneHop, oneHop, 0},
+	}
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			if p.PairLookahead[a][b] != want[a][b] {
+				t.Errorf("pair %d->%d floor = %v, want %v", a, b, p.PairLookahead[a][b], want[a][b])
+			}
+		}
+	}
+	if one := PlanShards(cfg, 1); one.PairLookahead != nil {
+		t.Error("single-shard plan should have no pair matrix")
+	}
+	// Every pair floor must be at least the global lookahead, or
+	// sim.ShardGroup.SetPairLookahead would reject the matrix.
+	for a := range p.PairLookahead {
+		for b := range p.PairLookahead[a] {
+			if a != b && p.PairLookahead[a][b] < p.Lookahead {
+				t.Errorf("pair %d->%d floor %v below global lookahead %v",
+					a, b, p.PairLookahead[a][b], p.Lookahead)
+			}
+		}
+	}
+}
+
 func TestPlanShardsDegenerate(t *testing.T) {
 	cfg := DefaultConfig()
 	p := PlanShards(cfg, 1)

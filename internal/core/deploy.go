@@ -58,13 +58,23 @@ func newKernelAndCluster(o Options) (*sim.Kernel, *cluster.Cluster, *sim.ShardGr
 	ccfg := o.Cluster
 	ccfg.Nodes = o.ServerNodes + 1
 	if o.Shards > 1 {
-		plan := cluster.PlanShards(ccfg, o.Shards)
-		g := sim.NewShardGroup(o.Seed, o.Shards, plan.Lookahead)
+		g := newShardGroup(o, cluster.PlanShards(ccfg, o.Shards))
 		k := g.Shard(0).Kernel()
 		return k, cluster.New(k, ccfg), g
 	}
 	k := sim.NewKernel(o.Seed)
 	return k, cluster.New(k, ccfg), nil
+}
+
+// newShardGroup builds the member-kernel group for a shard plan: the
+// per-pair delivery floors feed adaptive window widening, and the pinned
+// worker cap comes straight from Options.
+func newShardGroup(o Options, plan cluster.ShardPlan) *sim.ShardGroup {
+	g := sim.NewShardGroup(o.Seed, plan.Shards, plan.Lookahead)
+	g.SetPairLookahead(plan.PairLookahead)
+	g.SetWorkers(o.ShardWorkers)
+	g.SetSpawnPerWindow(envSpawnWindows())
+	return g
 }
 
 // deployHBase provisions HBase at the given replication factor with

@@ -229,8 +229,7 @@ func deployGeo(o Options, c geoCell) (*deployment, *geo.Controller) {
 	var k *sim.Kernel
 	var group *sim.ShardGroup
 	if o.Shards > 1 {
-		plan := cluster.PlanShards(ccfg, o.Shards)
-		g := sim.NewShardGroup(o.Seed, o.Shards, plan.Lookahead)
+		g := newShardGroup(o, cluster.PlanShards(ccfg, o.Shards))
 		k = g.Shard(0).Kernel()
 		group = g
 	} else {

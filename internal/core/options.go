@@ -36,6 +36,29 @@ func envShards() int {
 	return 0
 }
 
+// envShardWorkers reads the CLOUDBENCH_SHARD_WORKERS override, the
+// companion knob to CLOUDBENCH_SHARDS: how many OS-level pinned workers a
+// sharded group runs windows on. 0 means unset (GOMAXPROCS). Results are
+// bit-identical for every value, so CI can pin e.g. 2 workers on a large
+// shard count to exercise work-stealing without changing any output.
+func envShardWorkers() int {
+	if s := os.Getenv("CLOUDBENCH_SHARD_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
+}
+
+// envSpawnWindows reads CLOUDBENCH_SPAWN_WINDOWS, a differential/debug
+// escape hatch that switches sharded groups back to the legacy
+// goroutine-per-window executor (sim.ShardGroup.SetSpawnPerWindow). The
+// determinism suite uses it to pin the pinned-worker engine's delivery
+// order to the legacy engine's, byte for byte.
+func envSpawnWindows() bool {
+	return os.Getenv("CLOUDBENCH_SPAWN_WINDOWS") == "1"
+}
+
 // Options controls the scale and knobs of every experiment.
 type Options struct {
 	Seed int64
@@ -56,6 +79,13 @@ type Options struct {
 	// inherits the cell seed unchanged, and the conservative window engine
 	// never reorders events. Defaults to $CLOUDBENCH_SHARDS when set.
 	Shards int
+
+	// ShardWorkers caps the pinned worker goroutines a sharded group
+	// (Shards > 1) executes windows on — sim.ShardGroup.SetWorkers. 0
+	// means one per available CPU. Like Shards, it changes wall-clock
+	// only, never results. Defaults to $CLOUDBENCH_SHARD_WORKERS when
+	// set.
+	ShardWorkers int
 
 	// Topology: ServerNodes database machines plus one client machine
 	// (which also hosts the HBase master), mirroring the paper's 15+1.
@@ -153,6 +183,7 @@ func QuickOptions() Options {
 	return Options{
 		Seed:                1,
 		Shards:              envShards(),
+		ShardWorkers:        envShardWorkers(),
 		ServerNodes:         15,
 		Cluster:             ccfg,
 		MicroRecords:        30_000,

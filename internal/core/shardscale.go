@@ -44,6 +44,10 @@ type ShardScaleOptions struct {
 	RemoteEvery  int
 	InterZoneRTT time.Duration
 
+	// Workers caps the group's pinned worker goroutines
+	// (sim.ShardGroup.SetWorkers); 0 means one per available CPU.
+	Workers int
+
 	Cluster cluster.Config
 }
 
@@ -105,14 +109,18 @@ type scaleSegment struct {
 }
 
 // remoteMixClient wraps a segment-local client and diverts every n'th read
-// to the next segment over the shard group's delivery API. All other verbs
-// stay local.
+// to a destination segment over the shard group's delivery API — each hop
+// paying the pair's delivery floor. All other verbs stay local. Both the
+// shardscale and megascale workloads drive their cross-segment traffic
+// through it.
 type remoteMixClient struct {
 	kv.Client
-	seg   *scaleSegment
-	dst   *scaleSegment
-	every int
-	n     int
+	src    *sim.Shard
+	dst    *sim.Shard
+	server kv.Client // destination segment's serving client
+	remote *int64    // cross-segment read counter, owned by the source shard
+	every  int
+	n      int
 }
 
 type remoteResp struct {
@@ -125,13 +133,14 @@ func (c *remoteMixClient) Read(p *sim.Proc, key kv.Key, fields []string) (kv.Rec
 	if c.every <= 0 || c.n%c.every != 0 {
 		return c.Client.Read(p, key, fields)
 	}
-	c.seg.remote++
-	src := c.seg.shard
+	*c.remote++
+	src := c.src
 	srcID := src.ID()
-	lookahead := src.Group().Lookahead()
+	hop := src.Group().Floor(srcID, c.dst.ID())
+	back := src.Group().Floor(c.dst.ID(), srcID)
 	fut := sim.NewFuture[remoteResp](src.Kernel())
-	server := c.dst.server
-	src.Send(c.dst.shard.ID(), lookahead, func(ds *sim.Shard) {
+	server := c.server
+	src.Send(c.dst.ID(), hop, func(ds *sim.Shard) {
 		// Serve the read as a fresh process on the destination segment —
 		// delivery runs in event context and must not block — then ship
 		// the response home, where the future completes on the source
@@ -148,7 +157,7 @@ func (c *remoteMixClient) Read(p *sim.Proc, key kv.Key, fields []string) (kv.Rec
 			// engine keys generic Future cells by Origin, so fut.val merges
 			// every instantiation's payload (DESIGN.md §12, soundness notes).
 			//simlint:ignore shardsafe reply future; generic cells merge instantiations in the points-to engine
-			ds.Send(srcID, lookahead, func(*sim.Shard) { fut.Set(resp) })
+			ds.Send(srcID, back, func(*sim.Shard) { fut.Set(resp) })
 		})
 	})
 	resp := fut.Await(p)
@@ -180,6 +189,7 @@ func RunShardScale(o ShardScaleOptions) (ShardScaleResult, error) {
 		lookahead = o.InterZoneRTT / 2
 	}
 	g := sim.NewShardGroup(o.Seed, s, lookahead)
+	g.SetWorkers(o.Workers)
 
 	segs := make([]*scaleSegment, s)
 	for i := 0; i < s; i++ {
@@ -220,7 +230,11 @@ func RunShardScale(o ShardScaleOptions) (ShardScaleResult, error) {
 			seg.db.FlushAll()
 			p.Sleep(quiesce)
 			mixed := func() kv.Client {
-				return &remoteMixClient{Client: seg.db.NewClient(seg.clientNode), seg: seg, dst: dst, every: every}
+				return &remoteMixClient{
+					Client: seg.db.NewClient(seg.clientNode),
+					src:    seg.shard, dst: dst.shard, server: dst.server,
+					remote: &seg.remote, every: every,
+				}
 			}
 			seg.result = ycsb.Run(p, mixed, seg.w, ycsb.RunConfig{
 				Threads:        threadsPer,

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -252,6 +253,238 @@ func TestShardGroupDeadlock(t *testing.T) {
 	}
 	if len(de.Blocked) != 1 || !strings.Contains(de.Blocked[0], "stuck") {
 		t.Errorf("deadlock report %v does not name the stuck process", de.Blocked)
+	}
+}
+
+// TestShardPinnedMatchesSpawnPerWindow is the engine-swap differential
+// gate: the persistent pinned-worker barrier must produce byte-identical
+// logs to the original spawn-a-goroutine-per-window executor, at several
+// worker counts and with adaptive widening both on and off.
+func TestShardPinnedMatchesSpawnPerWindow(t *testing.T) {
+	const lookahead = 200 * time.Nanosecond
+	run := func(spawn, adaptive bool, workers int) string {
+		g := NewShardGroup(7, 4, lookahead)
+		g.SetWorkers(workers)
+		g.SetSpawnPerWindow(spawn)
+		g.SetAdaptive(adaptive)
+		m := &ringModel{nodes: 8, rounds: 40}
+		return m.runOnGroup(t, g, lookahead)
+	}
+	ref := run(false, true, 4)
+	if ref == "" {
+		t.Fatal("empty signature")
+	}
+	for _, spawn := range []bool{false, true} {
+		for _, adaptive := range []bool{false, true} {
+			for _, w := range []int{2, 4, 16} {
+				if got := run(spawn, adaptive, w); got != ref {
+					t.Errorf("spawn=%v adaptive=%v workers=%d signature differs", spawn, adaptive, w)
+				}
+			}
+		}
+	}
+}
+
+// TestShardAdaptiveWidensWindows checks that adaptive widening actually
+// buys fewer barriers on a skewed model — one shard ticking every 100ns,
+// the other only every 5µs, lookahead 200ns — while producing the same
+// result. The static engine must chop the run into ~lookahead-sized
+// windows; the adaptive one can run the busy shard up to the idle shard's
+// horizon.
+func TestShardAdaptiveWidensWindows(t *testing.T) {
+	const lookahead = 200 * time.Nanosecond
+	run := func(adaptive bool) (string, int64) {
+		g := NewShardGroup(3, 2, lookahead)
+		g.SetWorkers(2)
+		g.SetAdaptive(adaptive)
+		var log []string
+		g.Shard(0).Kernel().Spawn("busy", func(p *Proc) {
+			for r := 0; r < 500; r++ {
+				p.Sleep(100 * time.Nanosecond)
+			}
+			log = append(log, fmt.Sprintf("busy done @%d", p.Now()))
+		})
+		g.Shard(1).Kernel().Spawn("sparse", func(p *Proc) {
+			for r := 0; r < 10; r++ {
+				p.Sleep(5 * time.Microsecond)
+				sent := p.Now()
+				r := r
+				g.Shard(1).Send(0, lookahead, func(ds *Shard) {
+					log = append(log, fmt.Sprintf("r%d @%d(sent %d)", r, ds.Kernel().Now(), sent))
+				})
+			}
+		})
+		if err := g.Run(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return strings.Join(log, "\n"), g.Windows()
+	}
+	staticSig, staticWin := run(false)
+	adaptSig, adaptWin := run(true)
+	if staticSig != adaptSig {
+		t.Errorf("adaptive widening changed results:\nstatic:\n%s\nadaptive:\n%s", staticSig, adaptSig)
+	}
+	if adaptWin >= staticWin {
+		t.Errorf("adaptive windows did not reduce barriers: %d adaptive vs %d static", adaptWin, staticWin)
+	}
+}
+
+// TestShardPairLookaheadFloors checks the per-pair delivery floors: a send
+// at the pair floor (above the uniform lookahead) is accepted and
+// delivered on time, a send below its pair floor panics even though it
+// clears the group lookahead, and a malformed matrix is rejected.
+func TestShardPairLookaheadFloors(t *testing.T) {
+	const base = 100 * time.Nanosecond
+	mk := func() *ShardGroup {
+		g := NewShardGroup(5, 3, base)
+		g.SetPairLookahead([][]Duration{
+			{0, base, 4 * base},
+			{base, 0, 4 * base},
+			{4 * base, 4 * base, 0},
+		})
+		return g
+	}
+	g := mk()
+	var deliveries []Duration
+	g.Shard(0).Kernel().Spawn("sender", func(p *Proc) {
+		sent := p.Now()
+		g.Shard(0).Send(2, 4*base, func(ds *Shard) {
+			deliveries = append(deliveries, ds.Kernel().Now().Sub(sent))
+		})
+		g.Shard(0).Send(1, base, func(ds *Shard) {
+			deliveries = append(deliveries, ds.Kernel().Now().Sub(sent))
+		})
+	})
+	if err := g.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(deliveries) != 2 || deliveries[0] != base || deliveries[1] != 4*base {
+		t.Errorf("pair-floor deliveries %v, want [%v %v]", deliveries, base, 4*base)
+	}
+	g2 := mk()
+	g2.Shard(0).Kernel().Spawn("cheater", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("send below the pair floor did not panic")
+			}
+			panic(killedErr{"cheater"})
+		}()
+		g2.Shard(0).Send(2, base, func(*Shard) {}) // clears base, violates the 4*base pair floor
+	})
+	func() {
+		defer func() { recover() }()
+		g2.Run()
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("pair floor below group lookahead was accepted")
+			}
+		}()
+		NewShardGroup(1, 2, base).SetPairLookahead([][]Duration{{0, base / 2}, {base / 2, 0}})
+	}()
+}
+
+// TestShardKillWhileParkedAtBarrier kills a process on one shard — via a
+// cross-shard delivery — while the pinned workers of a multi-worker group
+// are cycling through the epoch barrier. The kill must unwind cleanly, the
+// group must drain, and the pinned pool must be torn down when RunUntil
+// returns so nothing leaks across runs.
+func TestShardKillWhileParkedAtBarrier(t *testing.T) {
+	const lookahead = 100 * time.Nanosecond
+	base := runtime.NumGoroutine()
+	g := NewShardGroup(13, 4, lookahead)
+	g.SetWorkers(4)
+	k1 := g.Shard(1).Kernel()
+	gate := NewFuture[struct{}](k1)
+	victimRanPast := false
+	victim := k1.Spawn("victim", func(p *Proc) {
+		gate.Await(p) // parked until the assassin wakes it into its unwind
+		victimRanPast = true
+	})
+	for i := 0; i < 4; i++ {
+		i := i
+		g.Shard(i).Kernel().Spawn(fmt.Sprintf("load%d", i), func(p *Proc) {
+			for r := 0; r < 50; r++ {
+				p.Sleep(Duration(p.Rand().Intn(300)) * time.Nanosecond)
+				g.Shard(i).Send((i+1)%4, lookahead, func(*Shard) {})
+			}
+		})
+	}
+	g.Shard(2).Kernel().Spawn("assassin", func(p *Proc) {
+		p.Sleep(2 * time.Microsecond)
+		g.Shard(2).Send(1, lookahead, func(ds *Shard) {
+			// The victim lives on shard 1, which this closure runs on.
+			//simlint:ignore shardsafe
+			victim.Kill()
+			// Kill alone does not wake a parked process; set its gate so
+			// the resume sees the kill flag and unwinds.
+			//simlint:ignore shardsafe
+			gate.Set(struct{}{})
+		})
+	})
+	if err := g.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if victimRanPast {
+		t.Error("killed victim ran past its await")
+	}
+	for i := 0; i < g.Shards(); i++ {
+		if live := g.Shard(i).Kernel().Live(); live != 0 {
+			t.Errorf("shard %d leaked %d live processes", i, live)
+		}
+	}
+	// The pinned pool must be gone: RunUntil tears workers down on exit.
+	for try := 0; try < 100; try++ {
+		if runtime.NumGoroutine() <= base {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Errorf("pinned workers leaked: %d goroutines, started with %d", n, base)
+	}
+	// And a second run on the same group must rebuild the pool lazily.
+	g.Shard(0).Kernel().Spawn("again", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		g.Shard(0).Send(3, lookahead, func(*Shard) {})
+	})
+	g.Shard(3).Kernel().Spawn("again2", func(p *Proc) { p.Sleep(time.Microsecond) })
+	if err := g.Run(); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+}
+
+// TestShardPanicInPinnedWorkerLowestWins panics two shards inside the same
+// window and checks the pinned-worker engine re-raises the lowest shard's
+// panic, deterministically, at every worker count — the same contract the
+// spawn-per-window engine had.
+func TestShardPanicInPinnedWorkerLowestWins(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		g := NewShardGroup(1, 4, time.Microsecond)
+		g.SetWorkers(workers)
+		for i := 0; i < 4; i++ {
+			i := i
+			k := g.Shard(i).Kernel()
+			// Keep every shard busy so the panic window is genuinely
+			// multi-shard, then blow up shards 2 and 1 at the same instant.
+			k.Spawn("load", func(p *Proc) {
+				for r := 0; r < 20; r++ {
+					p.Sleep(100 * time.Nanosecond)
+				}
+			})
+			if i == 1 || i == 2 {
+				k.After(500*time.Nanosecond, func() { panic(fmt.Sprintf("boom shard %d", i)) })
+			}
+		}
+		got := func() (r any) {
+			defer func() { r = recover() }()
+			g.Run()
+			return nil
+		}()
+		if s, _ := got.(string); s != "boom shard 1" {
+			t.Errorf("workers=%d: recovered %v, want the lowest shard's panic", workers, got)
+		}
 	}
 }
 

@@ -117,6 +117,21 @@ type Kernel struct {
 	// end before any further event runs.
 	windowBreak bool
 
+	// inbox is the external message lane for sharded execution: cross-shard
+	// messages merged in at barriers, sorted by (t, source shard, source
+	// seq), consumed lazily by runWindow. inboxIdx is the first unfired
+	// entry; extShard is the member shard handed to message fns. Keeping
+	// messages in their own lane (instead of scheduling a wrapper closure
+	// per message into the wheel) makes delivery allocation-free and — more
+	// importantly — makes the execution order at each instant a fixed rule
+	// ("local events first, then messages in lane order") that is
+	// independent of where the window barriers happen to fall, which is
+	// what lets the group widen windows adaptively without changing
+	// results. Always empty for a kernel outside a multi-shard group.
+	inbox    []xmsg
+	inboxIdx int
+	extShard *Shard
+
 	// waiting tracks processes parked on non-timer conditions (futures,
 	// resources, queues) so deadlock reports can name them.
 	waiting waitRegistry
@@ -607,9 +622,17 @@ func (k *Kernel) RunUntil(limit Time) error {
 
 // runWindow is the shard-group member's event loop: identical event
 // execution to RunUntil, but reaching the limit with live processes and no
-// local events is not a deadlock (a cross-shard message may still arrive)
-// and the worker pool is not drained — both become group-level decisions
-// (ShardGroup.finish). k.now never moves backward.
+// local events is not a deadlock (a cross-shard message may still arrive),
+// the worker pool is not drained — both become group-level decisions
+// (ShardGroup.finish) — and the external message lane (k.inbox) is
+// interleaved with local events. k.now never moves backward.
+//
+// The lane rule: at each instant, local events run before lane messages,
+// and messages fire in lane order; work a message schedules at its own
+// instant goes to the fast lane and runs before the next message. A lane
+// message at time t only ever arrives while the kernel is strictly before
+// t (the conservative window guarantee), so this order is a pure function
+// of the model — no matter how the group chops execution into windows.
 //
 //simlint:hotpath
 func (k *Kernel) runWindow(limit Time) {
@@ -618,9 +641,36 @@ func (k *Kernel) runWindow(limit Time) {
 	}
 	k.windowBreak = false
 	for k.pending > 0 {
-		e := k.pop(limit)
+		popTo := limit
+		msgDue := false
+		if k.inboxIdx < len(k.inbox) {
+			if mt := k.inbox[k.inboxIdx].t; mt <= limit {
+				popTo, msgDue = mt, true
+			}
+		}
+		e := k.pop(popTo)
 		if e == nil {
-			return
+			if !msgDue {
+				return
+			}
+			// No local event at or before the lane head: fire the message.
+			// pop may have left now short of the message time when the
+			// wheel ran dry, so clamp forward explicitly.
+			if k.now < popTo {
+				k.now = popTo
+			}
+			m := &k.inbox[k.inboxIdx]
+			k.inboxIdx++
+			k.pending--
+			mfn := m.fn
+			m.fn = nil
+			//simlint:ignore hookguard Send rejects nil fns at enqueue, so every lane message carries one
+			mfn(k.extShard)
+			if k.windowBreak {
+				k.windowBreak = false
+				return
+			}
+			continue
 		}
 		fn := e.fn
 		e.fn = nil
@@ -656,6 +706,11 @@ func (k *Kernel) nextPendingBound() (Time, bool) {
 	}
 	if len(k.overflow) > 0 && k.overflow[0].t < t {
 		t = k.overflow[0].t
+	}
+	// Undelivered lane messages are pending work too, and their times are
+	// exact (the lane is sorted, so the head is the earliest).
+	if k.inboxIdx < len(k.inbox) && k.inbox[k.inboxIdx].t < t {
+		t = k.inbox[k.inboxIdx].t
 	}
 	return t, true
 }

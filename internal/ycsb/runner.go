@@ -245,6 +245,100 @@ func Run(driver *sim.Proc, newClient ClientFactory, w *Workload, cfg RunConfig) 
 	return res
 }
 
+// SessionConfig controls a session-churn phase: instead of Threads
+// long-lived closed-loop threads, the driver spawns Sessions short-lived
+// client processes over the run — at most Live alive at any instant —
+// each executing OpsPerSession operations against a pooled client and
+// exiting. This is the megascale shape: the paper-scale "a million
+// clients" is a churn of arrivals, not a million concurrent threads, and
+// process arrival/departure is exactly what stresses the kernel's proc
+// pooling and the shard engine's window loop.
+type SessionConfig struct {
+	// Sessions is the total number of client processes spawned over the
+	// phase.
+	Sessions int64
+	// Live bounds concurrent sessions; new arrivals wait for a free
+	// client slot. Defaults to 1.
+	Live int
+	// OpsPerSession is each session's operation count. Defaults to 1.
+	OpsPerSession int64
+	// WarmupFraction of the total operations runs before measurement
+	// starts, as in RunConfig.
+	WarmupFraction float64
+}
+
+// RunSessions executes a session-churn phase, blocking the driver process,
+// and returns its Result. Clients are built once per live slot and handed
+// from session to session through a queue, so the phase allocates O(Live)
+// clients no matter how many sessions churn through.
+func RunSessions(driver *sim.Proc, newClient ClientFactory, w *Workload, cfg SessionConfig) Result {
+	if cfg.Live < 1 {
+		cfg.Live = 1
+	}
+	if cfg.OpsPerSession < 1 {
+		cfg.OpsPerSession = 1
+	}
+	k := driver.Kernel()
+	res := Result{
+		Workload: w.Spec.Name,
+		Threads:  cfg.Live,
+		Overall:  &stats.Histogram{},
+		Intended: &stats.Histogram{},
+		PerOp:    make(map[OpType]*stats.Histogram),
+	}
+	for _, t := range []OpType{OpRead, OpUpdate, OpInsert, OpScan, OpReadModifyWrite} {
+		res.PerOp[t] = &stats.Histogram{}
+	}
+
+	totalOps := cfg.Sessions * cfg.OpsPerSession
+	warmupOps := int64(cfg.WarmupFraction * float64(totalOps))
+	var completed int64
+	measuring := warmupOps == 0
+	measureStart := k.Now()
+
+	free := sim.NewQueue[kv.Client](k)
+	for i := 0; i < cfg.Live; i++ {
+		free.Push(newClient())
+	}
+	for s := int64(0); s < cfg.Sessions; s++ {
+		cl := free.Pop(driver) // admission control: wait for a slot
+		k.Go("ycsb-session", func(p *sim.Proc) {
+			for op := int64(0); op < cfg.OpsPerSession; op++ {
+				o := w.NextOp(p.Rand())
+				opStart := p.Now()
+				err := execute(p, cl, o)
+				lat := p.Now().Sub(opStart)
+				w.Ack(o)
+				completed++
+				if !measuring && completed >= warmupOps {
+					measuring = true
+					measureStart = p.Now()
+				} else if measuring {
+					res.MeasuredOps++
+					res.Overall.Record(lat)
+					res.Intended.Record(lat)
+					res.PerOp[o.Type].Record(lat)
+					if err == kv.ErrNotFound {
+						res.NotFound++
+					} else if err != nil {
+						res.Errors++
+					}
+				}
+			}
+			free.Push(cl)
+		})
+	}
+	// Drain: every slot back in the queue means every session exited.
+	for i := 0; i < cfg.Live; i++ {
+		free.Pop(driver)
+	}
+	res.Elapsed = k.Now().Sub(measureStart)
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.MeasuredOps) / res.Elapsed.Seconds()
+	}
+	return res
+}
+
 // execute performs one operation against the client. ErrNotFound on reads
 // is reported to the caller but is not a client error (it is how stale or
 // racing reads manifest). It runs once per YCSB operation — millions of
